@@ -1,0 +1,93 @@
+// Experiment P3 — the price of not knowing f: AuthCup (known f) vs CUPFT
+// (unknown f) end-to-end on identical BFT-CUPFT-compatible topologies.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cup/runner.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace bftcup;
+
+struct Setup {
+  graph::Digraph graph;
+  IdSet faulty;
+  std::size_t f;
+};
+
+Setup make_setup(std::size_t core, std::size_t periphery,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  graph::generators::CupftParams params;
+  params.f = 1;
+  params.core_size = core;
+  params.periphery = periphery;
+  params.byzantine_in_core = 1;
+  const auto sys = graph::generators::random_cupft(params, rng);
+  return {sys.graph, sys.faulty, sys.f};
+}
+
+cup::RunReport run_mode(const Setup& setup, cup::Mode mode,
+                        std::uint64_t seed) {
+  cup::Scenario s;
+  s.graph = setup.graph;
+  s.faulty = setup.faulty;
+  s.f = setup.f;
+  s.mode = mode;
+  s.sim.seed = seed;
+  return cup::run_scenario(s);
+}
+
+void print_experiment() {
+  std::printf("\n=== P3: known-f (BFT-CUP) vs unknown-f (BFT-CUPFT) ===\n");
+  std::printf("%6s %6s | %10s %10s | %10s %10s | %8s\n", "core", "peri",
+              "auth-lat", "auth-msgs", "cupft-lat", "cupft-msgs", "overhead");
+  for (std::size_t core : {5, 7}) {
+    for (std::size_t periphery : {3, 6, 10}) {
+      const Setup setup = make_setup(core, periphery, 11);
+      const auto auth = run_mode(setup, cup::Mode::kAuth, 5);
+      const auto cupft = run_mode(setup, cup::Mode::kCupft, 5);
+      const double overhead =
+          auth.completion_time && cupft.completion_time && *auth.completion_time
+              ? static_cast<double>(*cupft.completion_time) /
+                    static_cast<double>(*auth.completion_time)
+              : 0.0;
+      std::printf("%6zu %6zu | %10lld %10llu | %10lld %10llu | %7.2fx  %s/%s\n",
+                  core, periphery,
+                  static_cast<long long>(auth.completion_time.value_or(-1)),
+                  static_cast<unsigned long long>(auth.messages_sent),
+                  static_cast<long long>(cupft.completion_time.value_or(-1)),
+                  static_cast<unsigned long long>(cupft.messages_sent),
+                  overhead, auth.verdict().c_str(), cupft.verdict().c_str());
+    }
+  }
+}
+
+void BM_Consensus(benchmark::State& state) {
+  const Setup setup = make_setup(static_cast<std::size_t>(state.range(1)), 5,
+                                 11);
+  const auto mode =
+      state.range(0) == 0 ? cup::Mode::kAuth : cup::Mode::kCupft;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto report = run_mode(setup, mode, seed++);
+    benchmark::DoNotOptimize(report.all_correct_decided);
+    state.counters["sim_ticks"] =
+        static_cast<double>(report.completion_time.value_or(-1));
+    state.counters["messages"] = static_cast<double>(report.messages_sent);
+  }
+}
+BENCHMARK(BM_Consensus)
+    ->ArgsProduct({{0, 1}, {5, 7}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Experiment P1 — Discovery convergence: simulated time, rounds, and
+// traffic for Algorithm 1 as the system grows (systems-level addition; the
+// paper proves Theorem 2 but reports no numbers).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cup/runner.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace bftcup;
+
+cup::RunReport run(std::size_t f, std::size_t non_sink, std::uint64_t seed) {
+  Rng rng(seed);
+  graph::generators::BftCupParams params;
+  params.f = f;
+  params.sink_size = 2 * f + 1 + f;
+  params.non_sink = non_sink;
+  params.byzantine_in_sink = f;
+  const auto sys = graph::generators::random_bft_cup(params, rng);
+
+  cup::Scenario s;
+  s.graph = sys.graph;
+  s.f = sys.f;
+  s.faulty = sys.faulty;
+  s.mode = cup::Mode::kAuth;
+  s.sim.seed = seed * 7 + 1;
+  return cup::run_scenario(s);
+}
+
+void print_experiment() {
+  std::printf("\n=== P1: Discovery convergence (Alg. 1, Theorem 2) ===\n");
+  std::printf("%4s %4s %6s | %14s %14s %12s %12s\n", "f", "n", "seed",
+              "sink-found(max)", "decide(max)", "messages", "bytes");
+  for (std::size_t f : {1, 2}) {
+    for (std::size_t non_sink : {2, 6, 12, 20}) {
+      const auto report = run(f, non_sink, 3);
+      SimTime sink_found = 0;
+      for (const auto& [who, t] : report.membership_times) {
+        sink_found = std::max(sink_found, t);
+      }
+      std::printf("%4zu %4zu %6d | %14lld %14lld %12llu %12llu   %s\n", f,
+                  2 * f + 1 + f + non_sink, 3,
+                  static_cast<long long>(sink_found),
+                  static_cast<long long>(report.completion_time.value_or(-1)),
+                  static_cast<unsigned long long>(report.messages_sent),
+                  static_cast<unsigned long long>(report.bytes_sent),
+                  report.verdict().c_str());
+    }
+  }
+}
+
+void BM_DiscoveryToDecision(benchmark::State& state) {
+  const auto f = static_cast<std::size_t>(state.range(0));
+  const auto non_sink = static_cast<std::size_t>(state.range(1));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto report = run(f, non_sink, seed++);
+    benchmark::DoNotOptimize(report.all_correct_decided);
+    state.counters["sim_ticks"] =
+        static_cast<double>(report.completion_time.value_or(-1));
+    state.counters["messages"] = static_cast<double>(report.messages_sent);
+    state.counters["bytes"] = static_cast<double>(report.bytes_sent);
+  }
+}
+BENCHMARK(BM_DiscoveryToDecision)
+    ->ArgsProduct({{1, 2}, {2, 6, 12}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Experiment F1 — Fig. 1a/1b: a graph that fails vs. satisfies the BFT-CUP
+// requirements, under a silent Byzantine participant 4.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "graph/figures.hpp"
+#include "graph/osr.hpp"
+
+namespace {
+
+using namespace bftcup;
+
+cup::Scenario scenario_for(const graph::figures::Instance& inst,
+                           cup::ByzBehavior byz, std::uint64_t seed,
+                           SimTime horizon) {
+  cup::Scenario s;
+  s.graph = inst.graph;
+  s.faulty = inst.faulty;
+  s.f = inst.f;
+  s.mode = cup::Mode::kAuth;
+  s.byz = byz;
+  s.sim.seed = seed;
+  s.sim.horizon = horizon;
+  if (byz == cup::ByzBehavior::kFakePd) {
+    s.fake_pds[ProcessId(4)] = IdSet{ProcessId(1), ProcessId(2), ProcessId(3)};
+  }
+  return s;
+}
+
+void print_experiment() {
+  bench::print_header(
+      "F1: Fig. 1a vs Fig. 1b",
+      "1a: consensus impossible when 4 is silent; 1b: solvable with f=1");
+
+  const auto a = graph::figures::fig1a();
+  const auto b = graph::figures::fig1b();
+
+  const auto ra = graph::check_bft_cup_requirements(a.graph, a.faulty, a.f);
+  const auto rb = graph::check_bft_cup_requirements(b.graph, b.faulty, b.f);
+  std::printf("checker fig1a: %s (%s)\n", ra.satisfied ? "ACCEPT" : "REJECT",
+              ra.reason.c_str());
+  std::printf("checker fig1b: %s\n", rb.satisfied ? "ACCEPT" : "REJECT");
+
+  bench::print_row("fig1a silent-byz (run)",
+                   cup::run_scenario(scenario_for(
+                       a, cup::ByzBehavior::kSilent, 1, 150'000)));
+  bench::print_row("fig1b silent-byz (run)",
+                   cup::run_scenario(scenario_for(
+                       b, cup::ByzBehavior::kSilent, 1, 2'000'000)));
+  bench::print_row("fig1b fake-pd-byz (run)",
+                   cup::run_scenario(scenario_for(
+                       b, cup::ByzBehavior::kFakePd, 2, 2'000'000)));
+  bench::print_row("fig1b wrong-value-byz (run)",
+                   cup::run_scenario(scenario_for(
+                       b, cup::ByzBehavior::kWrongValue, 3, 2'000'000)));
+}
+
+void BM_Fig1bEndToEnd(benchmark::State& state) {
+  const auto inst = graph::figures::fig1b();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto report = cup::run_scenario(
+        scenario_for(inst, cup::ByzBehavior::kSilent, seed++, 2'000'000));
+    benchmark::DoNotOptimize(report.all_correct_decided);
+    state.counters["sim_ticks"] =
+        static_cast<double>(report.completion_time.value_or(-1));
+    state.counters["messages"] = static_cast<double>(report.messages_sent);
+  }
+}
+BENCHMARK(BM_Fig1bEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1aCheckerReject(benchmark::State& state) {
+  const auto inst = graph::figures::fig1a();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::check_bft_cup_requirements(inst.graph, inst.faulty, inst.f));
+  }
+}
+BENCHMARK(BM_Fig1aCheckerReject);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

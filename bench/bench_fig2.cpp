@@ -1,0 +1,88 @@
+// Experiment F2 — Fig. 2 / Theorem 7: the impossibility of BFT-CUP-grade
+// knowledge without a known fault threshold, as executable runs.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "graph/figures.hpp"
+
+namespace {
+
+using namespace bftcup;
+
+constexpr Value kV = 111;
+constexpr Value kU = 222;
+
+cup::Scenario ab_scenario(cup::Mode mode, std::uint64_t seed) {
+  const auto inst = graph::figures::fig2c();
+  cup::Scenario s;
+  s.graph = inst.graph;
+  s.mode = mode;
+  s.sim.seed = seed;
+  s.sim.net.gst = 800'000;
+  s.sim.horizon = mode == cup::Mode::kNaive ? 1'000'000 : 150'000;
+  for (std::uint64_t id = 1; id <= 4; ++id) s.proposals[ProcessId(id)] = kV;
+  for (std::uint64_t id = 5; id <= 8; ++id) s.proposals[ProcessId(id)] = kU;
+  s.make_policy = [] {
+    IdSet a, b;
+    for (std::uint64_t id = 1; id <= 4; ++id) a.insert(ProcessId(id));
+    for (std::uint64_t id = 5; id <= 8; ++id) b.insert(ProcessId(id));
+    return std::make_unique<sim::GroupStretchPolicy>(
+        std::make_unique<sim::RandomDelayPolicy>(), a, b, 700'000);
+  };
+  return s;
+}
+
+void print_experiment() {
+  bench::print_header("F2: Fig. 2 — Theorem 7 impossibility",
+                      "A decides v, B decides u, AB violates Agreement "
+                      "under any unknown-f protocol with G_di knowledge");
+
+  {
+    const auto inst = graph::figures::fig2a();
+    cup::Scenario s;
+    s.graph = inst.graph;
+    s.faulty = inst.faulty;
+    s.mode = cup::Mode::kNaive;
+    for (std::uint64_t id = 1; id <= 4; ++id) s.proposals[ProcessId(id)] = kV;
+    bench::print_row("system A, naive unknown-f", cup::run_scenario(s));
+  }
+  {
+    const auto inst = graph::figures::fig2b();
+    cup::Scenario s;
+    s.graph = inst.graph;
+    s.faulty = inst.faulty;
+    s.mode = cup::Mode::kNaive;
+    for (std::uint64_t id = 5; id <= 8; ++id) s.proposals[ProcessId(id)] = kU;
+    bench::print_row("system B, naive unknown-f", cup::run_scenario(s));
+  }
+
+  std::size_t violations = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto report = cup::run_scenario(ab_scenario(cup::Mode::kNaive, seed));
+    if (!report.agreement) ++violations;
+    if (seed == 1) bench::print_row("system AB, naive unknown-f", report);
+  }
+  std::printf("agreement violations on AB (naive): %zu/5 seeds\n", violations);
+
+  bench::print_row("system AB, BFT-CUPFT (fixed)",
+                   cup::run_scenario(ab_scenario(cup::Mode::kCupft, 1)));
+}
+
+void BM_SystemAbNaiveSplit(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto report = cup::run_scenario(ab_scenario(cup::Mode::kNaive, seed++));
+    benchmark::DoNotOptimize(report.agreement);
+    state.counters["violated"] = report.agreement ? 0 : 1;
+  }
+}
+BENCHMARK(BM_SystemAbNaiveSplit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment P5 — graph-algorithm microbenchmarks: the κ / disjoint-path /
+// SCC machinery every checker and every node runs.
+#include <benchmark/benchmark.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/osr.hpp"
+#include "graph/scc.hpp"
+
+namespace {
+
+using namespace bftcup;
+
+graph::Digraph complete(std::size_t n) {
+  graph::Digraph g;
+  for (std::uint64_t a = 1; a <= n; ++a) {
+    for (std::uint64_t b = 1; b <= n; ++b) {
+      if (a != b) g.add_edge(ProcessId(a), ProcessId(b));
+    }
+  }
+  return g;
+}
+
+graph::Digraph random_strong(std::size_t n, std::size_t extra,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  graph::Digraph g;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    g.add_edge(ProcessId(i), ProcessId((i + 1) % n));
+  }
+  for (std::size_t e = 0; e < extra; ++e) {
+    g.add_edge(ProcessId(rng.next_below(n)), ProcessId(rng.next_below(n)));
+  }
+  return g;
+}
+
+void BM_Tarjan(benchmark::State& state) {
+  const auto g = random_strong(static_cast<std::size_t>(state.range(0)),
+                               static_cast<std::size_t>(state.range(0)) * 4,
+                               1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::strongly_connected_components(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Tarjan)->Range(16, 4096)->Complexity(benchmark::oN);
+
+void BM_DisjointPaths(benchmark::State& state) {
+  const auto g = complete(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::disjoint_path_count(g, ProcessId(1), ProcessId(2)));
+  }
+}
+BENCHMARK(BM_DisjointPaths)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_StrongConnectivity(benchmark::State& state) {
+  const auto g = complete(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::strong_connectivity(g));
+  }
+}
+BENCHMARK(BM_StrongConnectivity)->Arg(4)->Arg(6)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_IsKStronglyConnected(benchmark::State& state) {
+  const auto g = complete(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::is_k_strongly_connected(g, 2));
+  }
+}
+BENCHMARK(BM_IsKStronglyConnected)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_KOsrCheck(benchmark::State& state) {
+  Rng rng(7);
+  graph::generators::BftCupParams params;
+  params.f = 1;
+  params.sink_size = 5;
+  params.non_sink = static_cast<std::size_t>(state.range(0));
+  params.byzantine_in_sink = 1;
+  const auto sys = graph::generators::random_bft_cup(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::check_bft_cup_requirements(sys.graph, sys.faulty, sys.f));
+  }
+}
+BENCHMARK(BM_KOsrCheck)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MaxOsrK(benchmark::State& state) {
+  const auto g = complete(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::max_osr_k(g));
+  }
+}
+BENCHMARK(BM_MaxOsrK)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

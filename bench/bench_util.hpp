@@ -1,0 +1,25 @@
+// Shared helpers for the experiment harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cup/runner.hpp"
+
+namespace bftcup::bench {
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n    paper claim: %s\n", experiment, claim);
+  std::printf("%-34s %-20s %10s %10s %12s\n", "scenario", "verdict",
+              "latency", "messages", "value");
+}
+
+inline void print_row(const std::string& name, const cup::RunReport& r) {
+  std::printf("%-34s %-20s %10lld %10llu %12llu\n", name.c_str(),
+              r.verdict().c_str(),
+              static_cast<long long>(r.completion_time.value_or(-1)),
+              static_cast<unsigned long long>(r.messages_sent),
+              static_cast<unsigned long long>(r.common_value.value_or(0)));
+}
+
+}  // namespace bftcup::bench

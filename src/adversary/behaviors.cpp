@@ -1,0 +1,101 @@
+#include "adversary/behaviors.hpp"
+
+namespace bftcup::adversary {
+
+ByzantineNode::ByzantineNode(ProcessId id, ByzantineConfig config)
+    : sim::Process(id),
+      config_(std::move(config)),
+      view_(id, config_.advertised_pd) {}
+
+bool ByzantineNode::crashed(const sim::Context& ctx) const {
+  return config_.crash_at && ctx.now() >= *config_.crash_at;
+}
+
+void ByzantineNode::on_start(sim::Context& ctx) {
+  msg::SignedPd own;
+  own.owner = id();
+  own.pd = config_.advertised_pd;
+  own.sig = ctx.signer().sign(
+      msg::SignedPd::payload(id(), config_.advertised_pd));
+  spds_.push_back(std::move(own));
+  signed_own_ = true;
+
+  if (config_.equivocate_consensus) {
+    // Fire the equivocation once discovery has plausibly converged. The
+    // adversary knows the membership, so no discovery is needed on its side.
+    ctx.set_timer(1, 99);
+  }
+}
+
+void ByzantineNode::equivocate(sim::Context& ctx) {
+  if (equivocated_) return;
+  equivocated_ = true;
+  // Split the members into two halves and push conflicting full-phase
+  // traffic at them. Signatures are the node's own, so they verify — the
+  // damage is limited to whatever the quorum intersection argument allows.
+  const auto& ids = config_.consensus_members.values();
+  const std::size_t recipients = ids.size() - (config_.consensus_members.contains(id()) ? 1 : 0);
+  std::size_t sent = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == id()) continue;
+    const Value v = (sent++ < recipients / 2) ? config_.value_a
+                                              : config_.value_b;
+    for (msg::MsgType phase :
+         {msg::MsgType::kPbftPrePrepare, msg::MsgType::kPbftPrepare,
+          msg::MsgType::kPbftCommit}) {
+      msg::Message m;
+      m.type = phase;
+      m.view = 0;
+      m.value = v;
+      m.sig = ctx.signer().sign(msg::pbft_payload(phase, 0, v));
+      ctx.send(ids[i], std::move(m));
+    }
+  }
+}
+
+void ByzantineNode::on_timer(int kind, sim::Context& ctx) {
+  if (crashed(ctx)) return;
+  if (kind == 99) equivocate(ctx);
+}
+
+void ByzantineNode::on_message(ProcessId from, const msg::Message& message,
+                               sim::Context& ctx) {
+  if (crashed(ctx)) return;
+  switch (message.type) {
+    case msg::MsgType::kGetPds: {
+      msg::Message reply;
+      reply.type = msg::MsgType::kSetPds;
+      if (config_.relay_pds) {
+        reply.pds = spds_;
+      } else if (signed_own_) {
+        reply.pds = {spds_.front()};
+      }
+      ctx.send(from, std::move(reply));
+      return;
+    }
+    case msg::MsgType::kSetPds: {
+      if (!config_.relay_pds) return;
+      for (const msg::SignedPd& spd : message.pds) {
+        if (view_.pd_of(spd.owner) != nullptr) continue;
+        const Bytes payload = msg::SignedPd::payload(spd.owner, spd.pd);
+        if (!ctx.verifier().verify(spd.owner, payload, spd.sig)) continue;
+        view_.add_pd(spd.owner, spd.pd);
+        spds_.push_back(spd);
+      }
+      return;
+    }
+    case msg::MsgType::kGetDecidedVal: {
+      if (config_.wrong_decided_value) {
+        msg::Message reply;
+        reply.type = msg::MsgType::kDecidedVal;
+        reply.value = *config_.wrong_decided_value;
+        ctx.send(from, std::move(reply));
+      }
+      return;
+    }
+    default:
+      return;  // ignores consensus traffic (silent within PBFT)
+  }
+}
+
+}  // namespace bftcup::adversary

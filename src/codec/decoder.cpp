@@ -1,0 +1,99 @@
+#include "codec/decoder.hpp"
+
+namespace bftcup::codec {
+
+bool Decoder::need(std::size_t n) {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint8_t> Decoder::get_u8() {
+  if (!need(1)) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint32_t> Decoder::get_u32() {
+  if (!need(4)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> Decoder::get_u64() {
+  if (!need(8)) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::optional<std::uint64_t> Decoder::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (!need(1)) return std::nullopt;
+    const std::uint8_t b = data_[pos_++];
+    if (shift >= 63 && (b & 0x7f) > 1) {  // overflow past 64 bits
+      failed_ = true;
+      return std::nullopt;
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) {
+      failed_ = true;
+      return std::nullopt;
+    }
+  }
+}
+
+std::optional<Bytes> Decoder::get_bytes() {
+  const auto len = get_varint();
+  if (!len || !need(*len)) return std::nullopt;
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+  pos_ += *len;
+  return out;
+}
+
+std::optional<std::string> Decoder::get_string() {
+  const auto len = get_varint();
+  if (!len || !need(*len)) return std::nullopt;
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+  pos_ += *len;
+  return out;
+}
+
+std::optional<ProcessId> Decoder::get_id() {
+  const auto raw = get_varint();
+  if (!raw) return std::nullopt;
+  return ProcessId(*raw);
+}
+
+std::optional<IdSet> Decoder::get_id_set() {
+  const auto count = get_varint();
+  if (!count) return std::nullopt;
+  // A count larger than the remaining bytes is malformed (ids are >= 1 byte);
+  // reject before looping so a huge count cannot stall the decoder.
+  if (*count > remaining()) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  IdSet out;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto id = get_id();
+    if (!id) return std::nullopt;
+    out.insert(*id);
+  }
+  return out;
+}
+
+}  // namespace bftcup::codec

@@ -1,0 +1,40 @@
+// Decoder matching codec::Encoder. All reads are checked; a malformed buffer
+// (e.g. crafted by a Byzantine process) flips the decoder into a failed state
+// instead of reading out of bounds, and every subsequent read reports failure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace bftcup::codec {
+
+class Decoder {
+ public:
+  explicit Decoder(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint8_t> get_u8();
+  [[nodiscard]] std::optional<std::uint32_t> get_u32();
+  [[nodiscard]] std::optional<std::uint64_t> get_u64();
+  [[nodiscard]] std::optional<std::uint64_t> get_varint();
+  [[nodiscard]] std::optional<Bytes> get_bytes();
+  [[nodiscard]] std::optional<std::string> get_string();
+  [[nodiscard]] std::optional<ProcessId> get_id();
+  [[nodiscard]] std::optional<IdSet> get_id_set();
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  [[nodiscard]] bool need(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace bftcup::codec

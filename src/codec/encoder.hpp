@@ -1,0 +1,34 @@
+// Deterministic binary encoding for signed payloads and wire messages.
+//
+// Signatures are computed over bytes, so payload encoding must be canonical:
+// little-endian fixed ints, LEB128 varints for lengths, and IdSets emitted in
+// sorted order (FlatSet already guarantees that).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace bftcup::codec {
+
+class Encoder {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_varint(std::uint64_t v);
+  void put_bytes(BytesView data);          // length-prefixed
+  void put_string(std::string_view s);     // length-prefixed
+  void put_id(ProcessId id);
+  void put_id_set(const IdSet& ids);       // count-prefixed, sorted
+
+  [[nodiscard]] const Bytes& bytes() const { return out_; }
+  [[nodiscard]] Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+}  // namespace bftcup::codec

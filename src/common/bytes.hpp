@@ -1,0 +1,21 @@
+// Byte-buffer helpers shared by the codec and crypto modules.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace bftcup {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Copies a string's characters into a byte buffer (no encoding games;
+/// protocol payloads are produced by the codec, this is for tests/keys).
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+/// Constant-time equality, as a MAC comparison must not leak a prefix length.
+[[nodiscard]] bool constant_time_equal(BytesView a, BytesView b);
+
+}  // namespace bftcup

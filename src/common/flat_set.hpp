@@ -1,0 +1,105 @@
+// A small sorted-vector set used pervasively for ID sets.
+//
+// Protocol state (S_known, S_received, PD contents, sink/core candidates) is
+// dominated by small sets that are iterated far more often than mutated; a
+// sorted vector beats node-based containers for those workloads and gives
+// deterministic iteration order, which the deterministic simulator relies on.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace bftcup {
+
+template <typename T>
+class FlatSet {
+ public:
+  using const_iterator = typename std::vector<T>::const_iterator;
+  using value_type = T;
+
+  FlatSet() = default;
+  FlatSet(std::initializer_list<T> init) : items_(init) { normalize(); }
+  explicit FlatSet(std::vector<T> items) : items_(std::move(items)) {
+    normalize();
+  }
+
+  [[nodiscard]] bool contains(const T& v) const {
+    return std::binary_search(items_.begin(), items_.end(), v);
+  }
+
+  /// Inserts `v`; returns true if it was not already present.
+  bool insert(const T& v) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), v);
+    if (it != items_.end() && *it == v) return false;
+    items_.insert(it, v);
+    return true;
+  }
+
+  /// Inserts every element of `other`; returns the number of new elements.
+  template <typename Range>
+  std::size_t insert_all(const Range& other) {
+    std::size_t added = 0;
+    for (const auto& v : other) added += insert(v) ? 1U : 0U;
+    return added;
+  }
+
+  /// Removes `v`; returns true if it was present.
+  bool erase(const T& v) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), v);
+    if (it == items_.end() || *it != v) return false;
+    items_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] const_iterator begin() const { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const { return items_.end(); }
+  [[nodiscard]] const std::vector<T>& values() const { return items_; }
+  void clear() { items_.clear(); }
+
+  [[nodiscard]] bool is_subset_of(const FlatSet& other) const {
+    return std::includes(other.items_.begin(), other.items_.end(),
+                         items_.begin(), items_.end());
+  }
+
+  [[nodiscard]] FlatSet set_union(const FlatSet& other) const {
+    FlatSet out;
+    std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                   other.items_.end(), std::back_inserter(out.items_));
+    return out;
+  }
+
+  [[nodiscard]] FlatSet set_difference(const FlatSet& other) const {
+    FlatSet out;
+    std::set_difference(items_.begin(), items_.end(), other.items_.begin(),
+                        other.items_.end(), std::back_inserter(out.items_));
+    return out;
+  }
+
+  [[nodiscard]] FlatSet set_intersection(const FlatSet& other) const {
+    FlatSet out;
+    std::set_intersection(items_.begin(), items_.end(), other.items_.begin(),
+                          other.items_.end(), std::back_inserter(out.items_));
+    return out;
+  }
+
+  friend bool operator==(const FlatSet&, const FlatSet&) = default;
+
+  /// Lexicographic order (so FlatSets can key std::map / sort candidates).
+  friend bool operator<(const FlatSet& a, const FlatSet& b) {
+    return a.items_ < b.items_;
+  }
+
+ private:
+  void normalize() {
+    std::sort(items_.begin(), items_.end());
+    items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+  }
+
+  std::vector<T> items_;
+};
+
+}  // namespace bftcup

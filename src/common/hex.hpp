@@ -1,0 +1,17 @@
+// Hex encoding for digests and debug output.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace bftcup {
+
+[[nodiscard]] std::string to_hex(BytesView bytes);
+
+/// Returns nullopt on odd length or non-hex characters.
+[[nodiscard]] std::optional<Bytes> from_hex(std::string_view hex);
+
+}  // namespace bftcup

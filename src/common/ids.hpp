@@ -1,0 +1,50 @@
+// Strongly-typed process identifiers.
+//
+// The paper (Section II-A) assumes each process has a unique ID, IDs are not
+// necessarily consecutive, and faulty processes cannot mint additional IDs
+// (Sybil resistance). We model IDs as an opaque 64-bit value wrapped in a
+// strong type so they cannot be confused with indices, sizes, or times.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace bftcup {
+
+/// Unique identifier of a process (participant). Not an array index: IDs are
+/// sparse and survive serialization; use `IdSet` / maps keyed by `ProcessId`
+/// for membership bookkeeping and `graph::Digraph` for index-based work.
+class ProcessId {
+ public:
+  constexpr ProcessId() = default;
+  constexpr explicit ProcessId(std::uint64_t raw) : raw_(raw) {}
+
+  [[nodiscard]] constexpr std::uint64_t raw() const { return raw_; }
+
+  friend constexpr auto operator<=>(ProcessId, ProcessId) = default;
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, ProcessId id);
+
+[[nodiscard]] inline std::string to_string(ProcessId id) {
+  return "p" + std::to_string(id.raw());
+}
+
+}  // namespace bftcup
+
+template <>
+struct std::hash<bftcup::ProcessId> {
+  std::size_t operator()(bftcup::ProcessId id) const noexcept {
+    // splitmix64 finalizer: raw ids are often small and consecutive in tests.
+    std::uint64_t x = id.raw() + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

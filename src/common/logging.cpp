@@ -1,0 +1,48 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+#include "common/ids.hpp"
+
+namespace bftcup {
+namespace {
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger::Logger() : sink_(&std::cerr) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  if (!enabled(level) || sink_ == nullptr) return;
+  (*sink_) << "[" << level_name(level) << "] " << component << ": " << message
+           << '\n';
+}
+
+std::ostream& operator<<(std::ostream& os, ProcessId id) {
+  return os << 'p' << id.raw();
+}
+
+}  // namespace bftcup

@@ -1,0 +1,73 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded, so the logger stays
+// trivially simple: a global level, a sink that defaults to stderr, and
+// stream-style call sites. Tests silence it; examples turn it up.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace bftcup {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= level_ && level_ != LogLevel::kOff;
+  }
+
+  void write(LogLevel level, std::string_view component,
+             std::string_view message);
+
+ private:
+  Logger();
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().write(level_, component_, out_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream out_;
+};
+
+}  // namespace detail
+}  // namespace bftcup
+
+#define BFTCUP_LOG(level, component)                         \
+  if (!::bftcup::Logger::instance().enabled(level)) {        \
+  } else                                                     \
+    ::bftcup::detail::LogLine(level, component)
+
+#define LOG_TRACE(component) BFTCUP_LOG(::bftcup::LogLevel::kTrace, component)
+#define LOG_DEBUG(component) BFTCUP_LOG(::bftcup::LogLevel::kDebug, component)
+#define LOG_INFO(component) BFTCUP_LOG(::bftcup::LogLevel::kInfo, component)
+#define LOG_WARN(component) BFTCUP_LOG(::bftcup::LogLevel::kWarn, component)
+#define LOG_ERROR(component) BFTCUP_LOG(::bftcup::LogLevel::kError, component)

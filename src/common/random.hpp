@@ -1,0 +1,46 @@
+// Deterministic RNG used everywhere randomness is needed.
+//
+// std::mt19937_64 would work, but its state is bulky and its distributions
+// are implementation-defined across standard libraries; xoshiro256** plus our
+// own bounded-draw keeps every experiment bit-reproducible on any platform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bftcup {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Deterministically derives an independent stream (per-process RNGs).
+  [[nodiscard]] Rng fork(std::uint64_t stream_id);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bftcup

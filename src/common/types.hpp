@@ -1,0 +1,27 @@
+// Shared aliases for the whole library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/flat_set.hpp"
+#include "common/ids.hpp"
+
+namespace bftcup {
+
+/// Simulated time in abstract "ticks". The simulator never interprets ticks
+/// as wall-clock; δ and GST are expressed in the same unit.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// A set of process identifiers (PD contents, S_known, sink candidates, ...).
+using IdSet = FlatSet<ProcessId>;
+
+/// A consensus proposal/decision value. The paper treats values as opaque;
+/// 64 bits is enough for every experiment while keeping messages compact.
+using Value = std::uint64_t;
+
+inline constexpr Value kNoValue = std::numeric_limits<Value>::max();
+
+}  // namespace bftcup

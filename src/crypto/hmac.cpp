@@ -1,0 +1,36 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace bftcup::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView message) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> key_block{};
+
+  if (key.size() > kBlock) {
+    const Digest kd = sha256(key);
+    std::copy(kd.begin(), kd.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad{};
+  std::array<std::uint8_t, kBlock> opad{};
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size()));
+  inner.update(message);
+  const Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finalize();
+}
+
+}  // namespace bftcup::crypto

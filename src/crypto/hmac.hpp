@@ -1,0 +1,10 @@
+// HMAC-SHA256 (RFC 2104).
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace bftcup::crypto {
+
+[[nodiscard]] Digest hmac_sha256(BytesView key, BytesView message);
+
+}  // namespace bftcup::crypto

@@ -1,0 +1,53 @@
+// Simulated PKI.
+//
+// The paper assumes an abstract digital-signature capability plus
+// Sybil-resistant unique IDs (Section II-A), which presupposes some identity
+// layer. We model that layer as a KeyRegistry: a trusted oracle that derives
+// a per-process secret from a system seed. Processes receive only their own
+// Signer (see signer.hpp); verification recomputes the MAC through the
+// registry. The unforgeability the protocol relies on — a Byzantine process
+// cannot fabricate a correct process's signed PD — is enforced structurally
+// because no code path hands one process another's secret.
+//
+// DESIGN.md §4.4 records this substitution.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "crypto/sha256.hpp"
+
+namespace bftcup::crypto {
+
+/// 64-byte signature: HMAC-SHA256 tag (32B) + redundancy digest (32B).
+/// The second half mimics realistic signature sizes and doubles as a cheap
+/// corruption detector in tests.
+struct Signature {
+  std::array<std::uint8_t, 64> bytes{};
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+class KeyRegistry {
+ public:
+  explicit KeyRegistry(std::uint64_t system_seed);
+
+  /// Derives (and caches) the secret for `id`. Deterministic in the seed.
+  [[nodiscard]] const Bytes& secret_for(ProcessId id);
+
+  /// Verifies that `sig` is `id`'s signature over `message`.
+  [[nodiscard]] bool verify(ProcessId id, BytesView message,
+                            const Signature& sig);
+
+  /// Computes `id`'s signature over `message`. Internal: reachable by
+  /// processes only through their own Signer.
+  [[nodiscard]] Signature sign_as(ProcessId id, BytesView message);
+
+ private:
+  std::uint64_t seed_;
+  std::unordered_map<ProcessId, Bytes> secrets_;
+};
+
+}  // namespace bftcup::crypto

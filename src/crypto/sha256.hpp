@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4), implemented from scratch for the offline build.
+//
+// Used as the compression primitive for HMAC-based simulated signatures and
+// for content digests in the PBFT core.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace bftcup::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(BytesView data);
+  /// Finalizes and returns the digest. The object must not be reused after.
+  [[nodiscard]] Digest finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+[[nodiscard]] Digest sha256(BytesView data);
+
+/// Digest as a byte vector (convenient for codec/signature plumbing).
+[[nodiscard]] Bytes digest_bytes(const Digest& d);
+
+}  // namespace bftcup::crypto

@@ -1,0 +1,4 @@
+#include "crypto/signer.hpp"
+
+// Signer/Verifier are header-only; this TU exists so the build exercises the
+// header's self-containedness.

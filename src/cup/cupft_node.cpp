@@ -1,0 +1,8 @@
+#include "cup/cupft_node.hpp"
+
+namespace bftcup::cup {
+
+CupftNode::CupftNode(ProcessId id, Params params)
+    : CupftNode(id, std::move(params), Options()) {}
+
+}  // namespace bftcup::cup

@@ -1,0 +1,3 @@
+#include "cup/naive_node.hpp"
+
+// Header-only on top of CupNodeBase; this TU anchors the header in the build.

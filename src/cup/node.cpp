@@ -1,0 +1,4 @@
+#include "cup/node.hpp"
+
+// AuthCupNode is header-only on top of CupNodeBase; this TU anchors the
+// header in the build.

@@ -1,0 +1,28 @@
+// AuthCupNode — consensus in the *authenticated BFT-CUP* model (Section III):
+// every process is given the fault threshold f; membership is the Sink
+// algorithm (Algorithm 2).
+#pragma once
+
+#include "cup/node_base.hpp"
+#include "protocol/sink.hpp"
+
+namespace bftcup::cup {
+
+class AuthCupNode final : public CupNodeBase {
+ public:
+  AuthCupNode(ProcessId id, std::size_t f, Params params)
+      : CupNodeBase(id, std::move(params)), f_(f) {}
+
+ protected:
+  [[nodiscard]] std::optional<Membership> evaluate(
+      const protocol::KnowledgeView& view) override {
+    const auto sink = protocol::try_find_sink(view, f_, search());
+    if (!sink) return std::nullopt;
+    return Membership{sink->members, f_};
+  }
+
+ private:
+  std::size_t f_;
+};
+
+}  // namespace bftcup::cup

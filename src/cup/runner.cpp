@@ -1,0 +1,137 @@
+#include "cup/runner.hpp"
+
+#include "adversary/behaviors.hpp"
+#include "cup/cupft_node.hpp"
+#include "cup/naive_node.hpp"
+#include "cup/node.hpp"
+
+namespace bftcup::cup {
+
+Value default_proposal(ProcessId id) {
+  return 1000 + id.raw();
+}
+
+std::string RunReport::verdict() const {
+  if (!agreement) return "AGREEMENT-VIOLATED";
+  if (!validity) return "VALIDITY-VIOLATED";
+  if (!all_correct_decided) return "NO-TERMINATION";
+  return "SOLVED";
+}
+
+RunReport run_scenario(const Scenario& scenario) {
+  sim::Simulator simulator(scenario.sim);
+  if (scenario.make_policy) {
+    simulator.set_delay_policy(scenario.make_policy());
+  }
+
+  std::shared_ptr<const protocol::SinkSearch> search = scenario.search;
+  if (!search) {
+    search = std::make_shared<protocol::ExhaustiveSinkSearch>();
+  }
+
+  const IdSet vertices = scenario.graph.vertices();
+  const IdSet correct = vertices.set_difference(scenario.faulty);
+
+  std::vector<Value> proposals;
+  for (ProcessId id : vertices) {
+    auto it = scenario.proposals.find(id);
+    proposals.push_back(it != scenario.proposals.end()
+                            ? it->second
+                            : default_proposal(id));
+  }
+
+  // An equivocating Byzantine process "proposes" its two conflict values;
+  // deciding one of them satisfies Validity's "proposed by some process".
+  if (scenario.byz == ByzBehavior::kEquivocate && !scenario.faulty.empty()) {
+    proposals.push_back(7770001);
+    proposals.push_back(7770002);
+  }
+
+  std::size_t index = 0;
+  for (ProcessId id : vertices) {
+    const Value proposal = proposals[index++];
+    const IdSet pd = scenario.graph.out_neighbors(id);
+
+    if (scenario.faulty.contains(id)) {
+      if (scenario.byz == ByzBehavior::kSilent) {
+        simulator.add_process(std::make_unique<adversary::SilentNode>(id));
+        continue;
+      }
+      adversary::ByzantineConfig config;
+      config.advertised_pd = pd;
+      if (scenario.byz == ByzBehavior::kFakePd) {
+        auto it = scenario.fake_pds.find(id);
+        if (it != scenario.fake_pds.end()) config.advertised_pd = it->second;
+      } else if (scenario.byz == ByzBehavior::kEquivocate) {
+        config.equivocate_consensus = true;
+        // The adversary knows Π; hand it the whole membership to split.
+        config.consensus_members = vertices;
+        config.value_a = 7770001;
+        config.value_b = 7770002;
+      } else if (scenario.byz == ByzBehavior::kWrongValue) {
+        config.wrong_decided_value = 666;
+      }
+      simulator.add_process(
+          std::make_unique<adversary::ByzantineNode>(id, config));
+      continue;
+    }
+
+    CupNodeBase::Params params;
+    params.pd = pd;
+    params.proposal = proposal;
+    params.discovery_period = scenario.discovery_period;
+    params.pbft_base_timeout = scenario.pbft_base_timeout;
+    params.search = search;
+
+    switch (scenario.mode) {
+      case Mode::kAuth:
+        simulator.add_process(
+            std::make_unique<AuthCupNode>(id, scenario.f, std::move(params)));
+        break;
+      case Mode::kCupft: {
+        CupftNode::Options options;
+        options.require_known_closure = scenario.cupft_known_closure;
+        simulator.add_process(
+            std::make_unique<CupftNode>(id, std::move(params), options));
+        break;
+      }
+      case Mode::kNaive:
+        simulator.add_process(
+            std::make_unique<NaiveNode>(id, std::move(params)));
+        break;
+    }
+  }
+
+  simulator.set_stop_condition(
+      [correct](const sim::Trace& trace) { return trace.all_decided(correct); });
+  simulator.run();
+
+  const sim::Trace& trace = simulator.trace();
+  RunReport report;
+  report.correct = correct;
+  report.all_correct_decided = trace.all_decided(correct);
+  report.agreement = trace.agreement(correct);
+  report.common_value = trace.common_value(correct);
+  report.completion_time = trace.completion_time(correct);
+  report.messages_sent = trace.messages_sent();
+  report.messages_delivered = trace.messages_delivered();
+  report.bytes_sent = trace.bytes_sent();
+  report.decisions = trace.decisions();
+  report.memberships = trace.memberships();
+  report.membership_times = trace.membership_times();
+
+  // Validity: every decided value was somebody's proposal.
+  for (const auto& [who, decision] : report.decisions) {
+    bool proposed = false;
+    for (Value v : proposals) {
+      if (v == decision.value) {
+        proposed = true;
+        break;
+      }
+    }
+    if (!proposed) report.validity = false;
+  }
+  return report;
+}
+
+}  // namespace bftcup::cup

@@ -1,0 +1,77 @@
+// Scenario runner: knowledge connectivity graph in, verdict out.
+//
+// Builds a simulator from a graph plus fault/behavior assignments, runs the
+// chosen protocol, and distills the trace into the quantities every
+// experiment reports (termination, agreement, validity, latency, traffic).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cup/node_base.hpp"
+#include "graph/digraph.hpp"
+#include "sim/simulator.hpp"
+
+namespace bftcup::cup {
+
+enum class Mode {
+  kAuth,   ///< AuthCupNode: knows f (authenticated BFT-CUP, Section III)
+  kCupft,  ///< CupftNode: unknown f (BFT-CUPFT, Section VI)
+  kNaive,  ///< NaiveNode: unknown f, unsound rule (Section IV witness)
+};
+
+enum class ByzBehavior {
+  kSilent,      ///< never sends
+  kFakePd,      ///< participates, advertises a fake own PD
+  kEquivocate,  ///< fake PD honest, equivocates in consensus
+  kWrongValue,  ///< serves a bogus DECIDEDVAL
+};
+
+struct Scenario {
+  graph::Digraph graph;
+  std::size_t f = 1;  ///< given to kAuth nodes; ground truth elsewhere
+  Mode mode = Mode::kAuth;
+  IdSet faulty;
+  ByzBehavior byz = ByzBehavior::kSilent;
+  /// Fake PDs for kFakePd (defaults to the true PD when absent).
+  std::map<ProcessId, IdSet> fake_pds;
+  /// Proposals (default: 1000 + id).
+  std::map<ProcessId, Value> proposals;
+
+  sim::Simulator::Options sim;
+  SimTime discovery_period = 50;
+  SimTime pbft_base_timeout = 600;
+  /// Optional custom delay policy (e.g. GroupStretchPolicy for Theorem 7).
+  std::function<std::unique_ptr<sim::DelayPolicy>()> make_policy;
+  std::shared_ptr<const protocol::SinkSearch> search;  ///< default: exhaustive
+  /// kCupft only: enable the knowledge-closure guard (see CupftNode).
+  bool cupft_known_closure = false;
+};
+
+struct RunReport {
+  IdSet correct;
+  bool all_correct_decided = false;
+  bool agreement = true;
+  bool validity = true;  ///< decided values were proposed by someone
+  std::optional<Value> common_value;
+  std::optional<SimTime> completion_time;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_sent = 0;
+  std::map<ProcessId, sim::Decision> decisions;
+  std::map<ProcessId, IdSet> memberships;
+  std::map<ProcessId, SimTime> membership_times;
+
+  /// One-line verdict for experiment tables.
+  [[nodiscard]] std::string verdict() const;
+};
+
+[[nodiscard]] RunReport run_scenario(const Scenario& scenario);
+
+/// Default proposal for a process (kept stable across experiments).
+[[nodiscard]] Value default_proposal(ProcessId id);
+
+}  // namespace bftcup::cup

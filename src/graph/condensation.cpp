@@ -1,0 +1,45 @@
+#include "graph/condensation.hpp"
+
+#include <algorithm>
+
+namespace bftcup::graph {
+
+Condensation condense(const Digraph& g) {
+  Condensation result;
+  result.sccs = strongly_connected_components(g);
+  const std::size_t c = result.sccs.count;
+  result.dag_out.assign(c, {});
+
+  for (std::size_t u = 0; u < g.vertex_count(); ++u) {
+    const std::size_t cu = result.sccs.component[u];
+    for (std::size_t v : g.out(u)) {
+      const std::size_t cv = result.sccs.component[v];
+      if (cu != cv) result.dag_out[cu].push_back(cv);
+    }
+  }
+  for (auto& adj : result.dag_out) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+  for (std::size_t i = 0; i < c; ++i) {
+    if (result.dag_out[i].empty()) result.sink_components.push_back(i);
+  }
+  return result;
+}
+
+IdSet sink_members(const Digraph& g) {
+  const Condensation c = condense(g);
+  IdSet out;
+  for (std::size_t comp : c.sink_components) {
+    out.insert_all(c.sccs.members[comp]);
+  }
+  return out;
+}
+
+IdSet unique_sink_members(const Digraph& g) {
+  const Condensation c = condense(g);
+  if (c.sink_components.size() != 1) return {};
+  return c.sccs.members[c.sink_components.front()];
+}
+
+}  // namespace bftcup::graph

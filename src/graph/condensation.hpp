@@ -1,0 +1,31 @@
+// Condensation DAG and sink components.
+//
+// The paper reduces G_di to its strongly connected components and requires
+// exactly one sink component (Definition 1). A component is a *sink* iff it
+// has no edges to other components.
+#pragma once
+
+#include <vector>
+
+#include "graph/scc.hpp"
+
+namespace bftcup::graph {
+
+struct Condensation {
+  SccResult sccs;
+  /// dag_out[c] = component ids reachable from c via a direct edge.
+  std::vector<std::vector<std::size_t>> dag_out;
+  /// Component ids with no outgoing DAG edges.
+  std::vector<std::size_t> sink_components;
+};
+
+[[nodiscard]] Condensation condense(const Digraph& g);
+
+/// Members of all sink components, unioned.
+[[nodiscard]] IdSet sink_members(const Digraph& g);
+
+/// Members of the unique sink component; nullopt-like empty set if the
+/// condensation has != 1 sink.
+[[nodiscard]] IdSet unique_sink_members(const Digraph& g);
+
+}  // namespace bftcup::graph

@@ -1,0 +1,108 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/maxflow.hpp"
+#include "graph/scc.hpp"
+
+namespace bftcup::graph {
+namespace {
+
+constexpr int kInf = 1 << 29;
+
+/// Builds the vertex-split flow network and returns the flow value from
+/// `from` to `to`, capped at `limit`.
+int split_graph_flow(const Digraph& g, std::size_t from, std::size_t to,
+                     int limit) {
+  const std::size_t n = g.vertex_count();
+  // Node 2v = v_in, 2v+1 = v_out.
+  MaxFlow flow(2 * n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const int cap = (v == from || v == to) ? kInf : 1;
+    flow.add_edge(2 * v, 2 * v + 1, cap);
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v : g.out(u)) {
+      // A direct from->to edge is one whole path by itself; without the unit
+      // cap the uncapacitated endpoint splits would let it carry any flow.
+      const int cap = (u == from && v == to) ? 1 : kInf;
+      flow.add_edge(2 * u + 1, 2 * v, cap);
+    }
+  }
+  return flow.run(2 * from + 1, 2 * to, limit);
+}
+
+}  // namespace
+
+std::size_t disjoint_path_count(const Digraph& g, ProcessId from,
+                                ProcessId to) {
+  const auto u = g.index_of(from);
+  const auto v = g.index_of(to);
+  if (!u || !v || *u == *v) return 0;
+  return static_cast<std::size_t>(split_graph_flow(g, *u, *v, kInf));
+}
+
+bool has_k_disjoint_paths(const Digraph& g, ProcessId from, ProcessId to,
+                          std::size_t k) {
+  if (k == 0) return true;
+  const auto u = g.index_of(from);
+  const auto v = g.index_of(to);
+  if (!u || !v || *u == *v) return false;
+  const int limit = static_cast<int>(std::min<std::size_t>(k, kInf));
+  return split_graph_flow(g, *u, *v, limit) >= limit;
+}
+
+std::size_t strong_connectivity(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n < 2) return 0;
+  if (!is_strongly_connected(g)) return 0;
+
+  // κ is bounded by the minimum in/out degree + ... actually by the path
+  // definition, κ(u,v) <= outdeg(u) and <= indeg(v), so κ <= min degree.
+  std::size_t bound = std::numeric_limits<std::size_t>::max();
+  for (std::size_t v = 0; v < n; ++v) {
+    bound = std::min({bound, g.out(v).size(), g.in(v).size()});
+  }
+
+  std::size_t best = bound;
+  for (std::size_t u = 0; u < n && best > 0; ++u) {
+    for (std::size_t v = 0; v < n && best > 0; ++v) {
+      if (u == v) continue;
+      const int f =
+          split_graph_flow(g, u, v, static_cast<int>(best));
+      best = std::min(best, static_cast<std::size_t>(f));
+    }
+  }
+  return best;
+}
+
+bool is_k_strongly_connected(const Digraph& g, std::size_t k) {
+  if (g.vertex_count() < 2) return false;
+  if (k == 0) return is_strongly_connected(g);
+  if (!is_strongly_connected(g)) return false;
+  const std::size_t n = g.vertex_count();
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      if (split_graph_flow(g, u, v, static_cast<int>(k)) <
+          static_cast<int>(k)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool all_pairs_k_connected(const Digraph& g, const IdSet& sources,
+                           const IdSet& targets, std::size_t k) {
+  for (ProcessId i : sources) {
+    for (ProcessId j : targets) {
+      if (i == j) continue;
+      if (!has_k_disjoint_paths(g, i, j, k)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bftcup::graph

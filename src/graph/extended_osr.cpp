@@ -1,0 +1,111 @@
+#include "graph/extended_osr.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/connectivity.hpp"
+#include "graph/osr.hpp"
+// Layering note: the isSink* machinery lives with the protocol code because
+// nodes evaluate it against partial views; the omniscient checkers reuse it
+// through KnowledgeView::omniscient rather than duplicating the math.
+#include "protocol/sink_search.hpp"
+
+namespace bftcup::graph {
+
+std::vector<SinkInfo> all_sinks(const Digraph& g) {
+  const auto view = protocol::KnowledgeView::omniscient(g);
+  protocol::SearchOptions options;
+  options.exhaustive_cap = 20;
+  const protocol::ExhaustiveSinkSearch search(options);
+
+  std::map<IdSet, std::size_t> best;  // members -> max witness f
+  for (const protocol::SinkCandidate& c : search.candidates(view)) {
+    IdSet members = c.members();
+    auto [it, inserted] = best.emplace(std::move(members), c.g);
+    if (!inserted) it->second = std::max(it->second, c.g);
+  }
+
+  std::vector<SinkInfo> out;
+  out.reserve(best.size());
+  for (auto& [members, f] : best) out.push_back({members, f});
+  return out;
+}
+
+ExtendedOsrReport check_extended_k_osr(const Digraph& g, std::size_t k) {
+  ExtendedOsrReport report;
+
+  const OsrReport osr = check_k_osr(g, k);
+  if (!osr.satisfied) {
+    report.reason = "not " + std::to_string(k) + "-OSR: " + osr.reason;
+    return report;
+  }
+
+  const std::vector<SinkInfo> sinks = all_sinks(g);
+  if (sinks.empty()) {
+    report.reason = "no subset passes isSink*";
+    return report;
+  }
+
+  // C1: a unique sink of strictly maximum connectivity.
+  const auto max_it = std::max_element(
+      sinks.begin(), sinks.end(),
+      [](const SinkInfo& a, const SinkInfo& b) { return a.k() < b.k(); });
+  const std::size_t max_k = max_it->k();
+  std::size_t at_max = 0;
+  for (const SinkInfo& s : sinks) at_max += (s.k() == max_k) ? 1U : 0U;
+  if (at_max != 1) {
+    report.reason = std::to_string(at_max) + " sinks tie at maximum k=" +
+                    std::to_string(max_k) + " (C1 needs a strict maximum)";
+    return report;
+  }
+  const IdSet& core = max_it->members;
+
+  // C1 corollary (see paper): k(core) >= k since the graph is k-OSR.
+  if (max_k < k) {
+    report.reason = "core connectivity " + std::to_string(max_k) +
+                    " below the k-OSR level " + std::to_string(k);
+    return report;
+  }
+
+  // C2: k(core) node-disjoint paths from every non-core process in.
+  const IdSet non_core = g.vertices().set_difference(core);
+  if (!all_pairs_k_connected(g, non_core, core, max_k)) {
+    report.reason =
+        "a non-core process lacks " + std::to_string(max_k) +
+        " node-disjoint paths into the core (C2)";
+    return report;
+  }
+
+  report.satisfied = true;
+  report.core = core;
+  report.core_k = max_k;
+  return report;
+}
+
+BftCupftReport check_bft_cupft_requirements(const Digraph& g,
+                                            const IdSet& faulty,
+                                            std::size_t f) {
+  BftCupftReport report;
+  if (faulty.size() > f) {
+    report.reason = "more than f processes are faulty";
+    return report;
+  }
+  const IdSet correct = g.vertices().set_difference(faulty);
+  const Digraph safe = g.induced(correct);
+  const ExtendedOsrReport ext = check_extended_k_osr(safe, f + 1);
+  if (!ext.satisfied) {
+    report.reason = "G_safe not extended (f+1)-OSR: " + ext.reason;
+    return report;
+  }
+  if (ext.core.size() < 2 * f + 1) {
+    report.reason = "core of G_safe has " + std::to_string(ext.core.size()) +
+                    " processes (< 2f+1)";
+    return report;
+  }
+  report.satisfied = true;
+  report.safe_core = ext.core;
+  report.core_k = ext.core_k;
+  return report;
+}
+
+}  // namespace bftcup::graph

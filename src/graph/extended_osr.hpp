@@ -1,0 +1,59 @@
+// Extended k-OSR PD (Definition 2) and the BFT-CUPFT model requirements.
+//
+// These checkers are *omniscient*: they see the whole knowledge connectivity
+// graph (every process's PD), unlike protocol code, which only ever sees
+// locally received PDs. Used by generators, tests, and experiment harnesses
+// to validate inputs and establish ground truth.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace bftcup::graph {
+
+/// A self-declarable sink of the graph under unknown fault threshold:
+/// `members` passes isSink* with maximal witness threshold `f` (Section V);
+/// its connectivity k_Gdi is f + 1.
+struct SinkInfo {
+  IdSet members;
+  std::size_t f = 0;
+
+  [[nodiscard]] std::size_t k() const { return f + 1; }
+};
+
+/// Every distinct member-set that passes isSink* on the omniscient view,
+/// each with its maximal witness threshold. Exponential in component size
+/// (exhaustive by design — ground truth); keep components <= ~16.
+[[nodiscard]] std::vector<SinkInfo> all_sinks(const Digraph& g);
+
+struct ExtendedOsrReport {
+  bool satisfied = false;
+  IdSet core;
+  std::size_t core_k = 0;
+  std::string reason;
+};
+
+/// Definition 2: g ∈ k-OSR, and there is a core with (C1) strictly maximum
+/// connectivity among all sinks and (C2) k_Gdi(core) node-disjoint paths
+/// from every non-core process to every core process.
+[[nodiscard]] ExtendedOsrReport check_extended_k_osr(const Digraph& g,
+                                                     std::size_t k);
+
+struct BftCupftReport {
+  bool satisfied = false;
+  IdSet safe_core;
+  std::size_t core_k = 0;
+  std::string reason;
+};
+
+/// Section V closing requirements: G_safe = g[correct] belongs to the
+/// extended (f+1)-OSR PD and its core has >= 2f+1 processes.
+[[nodiscard]] BftCupftReport check_bft_cupft_requirements(const Digraph& g,
+                                                          const IdSet& faulty,
+                                                          std::size_t f);
+
+}  // namespace bftcup::graph

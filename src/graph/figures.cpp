@@ -1,0 +1,186 @@
+#include "graph/figures.hpp"
+
+#include <initializer_list>
+
+namespace bftcup::graph::figures {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+void pd(Digraph& g, std::uint64_t owner,
+        std::initializer_list<std::uint64_t> targets) {
+  g.add_vertex(p(owner));
+  for (std::uint64_t t : targets) g.add_edge(p(owner), p(t));
+}
+
+void complete(Digraph& g, std::initializer_list<std::uint64_t> members) {
+  for (std::uint64_t a : members) {
+    for (std::uint64_t b : members) {
+      if (a != b) g.add_edge(p(a), p(b));
+    }
+  }
+}
+
+}  // namespace
+
+Instance fig1a() {
+  Instance inst;
+  Digraph& g = inst.graph;
+  // Cluster {1,2,3}: complete. PD_1 = {2,3,4} per the paper.
+  pd(g, 1, {2, 3, 4});
+  pd(g, 2, {1, 3});
+  pd(g, 3, {1, 2});
+  // Byzantine 4 is the sole bridge to cluster {5,6,7,8}.
+  pd(g, 4, {5, 1});
+  pd(g, 5, {4, 6, 7});
+  pd(g, 6, {7, 8});
+  pd(g, 7, {5, 8});
+  pd(g, 8, {5, 6});
+  inst.faulty = {p(4)};
+  inst.f = 1;
+  return inst;
+}
+
+Instance fig1b() {
+  Instance inst;
+  Digraph& g = inst.graph;
+  // Sink side: {1,2,3} complete among themselves, all know Byzantine 4,
+  // and 4's (true) PD is {1,2,3} — matching the Sink-algorithm walkthrough
+  // in Section III where 4 sends P = {1,2,3}.
+  pd(g, 1, {2, 3, 4});
+  pd(g, 2, {1, 3, 4});
+  pd(g, 3, {1, 2, 4});
+  pd(g, 4, {1, 2, 3});
+  // Non-sink members each know two distinct sink members, giving the two
+  // node-disjoint paths Definition 1 requires (direct edge + via the other).
+  pd(g, 5, {1, 2});
+  pd(g, 6, {2, 3});
+  pd(g, 7, {1, 3});
+  pd(g, 8, {2, 3});
+  inst.faulty = {p(4)};
+  inst.f = 1;
+  inst.expected_sink = {p(1), p(2), p(3)};
+  inst.expected_core = {p(1), p(2), p(3)};
+  return inst;
+}
+
+Instance fig2a() {
+  Instance inst;
+  complete(inst.graph, {1, 2, 3, 4});
+  inst.faulty = {p(4)};
+  inst.f = 1;
+  inst.expected_sink = {p(1), p(2), p(3)};
+  inst.expected_core = {p(1), p(2), p(3)};
+  return inst;
+}
+
+Instance fig2b() {
+  Instance inst;
+  complete(inst.graph, {5, 6, 7, 8});
+  inst.faulty = {p(5)};
+  inst.f = 1;
+  inst.expected_sink = {p(6), p(7), p(8)};
+  inst.expected_core = {p(6), p(7), p(8)};
+  return inst;
+}
+
+Instance fig2c() {
+  Instance inst;
+  Digraph& g = inst.graph;
+  complete(g, {1, 2, 3, 4});
+  complete(g, {5, 6, 7, 8});
+  // The only inter-cluster knowledge: 4 and 5 know each other.
+  g.add_edge(p(4), p(5));
+  g.add_edge(p(5), p(4));
+  inst.f = 1;  // the system has a threshold; nobody is actually faulty
+  return inst;
+}
+
+Instance fig3a() {
+  Instance inst;
+  Digraph& g = inst.graph;
+  // S1 = {1,2,3,4,6} is complete (κ = 4) and every member also knows 5 and
+  // 7, so isSink(2, S1, {5,7}) holds: 5 and 7 are each known by more than
+  // two S1 members (P4) and no S1 member points outside S1 ∪ {5,7} (P3) —
+  // nobody in S1 knows 8.
+  pd(g, 1, {2, 3, 4, 6, 5, 7});
+  pd(g, 2, {1, 3, 4, 6, 5, 7});
+  pd(g, 3, {1, 2, 4, 6, 5, 7});
+  pd(g, 4, {1, 2, 3, 6, 5, 7});
+  pd(g, 6, {1, 2, 3, 4, 5, 7});
+  // The true sink of G_safe (faulty = {1}) is the triangle {5,7,8}; process
+  // 8 is known only inside the sink.
+  pd(g, 5, {7, 8});
+  pd(g, 7, {5, 8});
+  pd(g, 8, {5, 7});
+  inst.faulty = {p(1)};
+  inst.f = 1;
+  inst.expected_sink = {p(5), p(7), p(8)};
+  return inst;
+}
+
+Instance fig3b() {
+  Instance inst;
+  Digraph& g = inst.graph;
+  // Processes {1,2,3,4,6} keep byte-identical PDs to fig3a, so {2,3,4,6}
+  // cannot distinguish the systems: in fig3a, 1 is Byzantine-but-behaving
+  // and correct 5, 7, 8 are slow; here 5 and 7 are Byzantine-silent and 8
+  // does not exist.
+  pd(g, 1, {2, 3, 4, 6, 5, 7});
+  pd(g, 2, {1, 3, 4, 6, 5, 7});
+  pd(g, 3, {1, 2, 4, 6, 5, 7});
+  pd(g, 4, {1, 2, 3, 6, 5, 7});
+  pd(g, 6, {1, 2, 3, 4, 5, 7});
+  // Byzantine 5 and 7 (true PDs point at each other).
+  pd(g, 5, {7});
+  pd(g, 7, {5});
+  inst.faulty = {p(5), p(7)};
+  inst.f = 2;
+  inst.expected_sink = {p(1), p(2), p(3), p(4), p(6)};
+  inst.expected_core = {p(1), p(2), p(3), p(4), p(6)};
+  return inst;
+}
+
+Instance fig4a() {
+  Instance inst;
+  Digraph& g = inst.graph;
+  complete(g, {1, 2, 3, 4});
+  complete(g, {5, 6, 7, 8});
+  g.add_edge(p(4), p(5));
+  g.add_edge(p(5), p(4));
+  // The paper's fix: extra links 6->3 and 7->2 stop {5,6,7,8} from ever
+  // passing the sink predicate (their escapes cannot be absorbed into S2).
+  g.add_edge(p(6), p(3));
+  g.add_edge(p(7), p(2));
+  inst.faulty = {p(5)};
+  inst.f = 1;
+  inst.expected_sink = {p(1), p(2), p(3), p(4)};
+  inst.expected_core = {p(1), p(2), p(3), p(4)};
+  return inst;
+}
+
+Instance fig4b() {
+  Instance inst;
+  Digraph& g = inst.graph;
+  // Periphery: a simple 7-cycle (κ = 1, so no periphery subset can pass the
+  // predicate with g >= 1) ...
+  pd(g, 1, {2, 8, 9, 10});
+  pd(g, 2, {3, 8, 9, 10});
+  pd(g, 3, {4, 8, 9, 10});
+  pd(g, 4, {5, 8, 9, 10});
+  pd(g, 5, {6, 8, 9, 10});
+  pd(g, 6, {7, 8, 9, 11});
+  pd(g, 7, {1, 9, 10, 12});
+  // ... and the core: K5 on {8..12} — strictly maximal connectivity (C1),
+  // reachable from every periphery process via 3 disjoint direct links (C2).
+  complete(g, {8, 9, 10, 11, 12});
+  inst.faulty = {p(8)};
+  inst.f = 1;
+  inst.expected_sink = {p(9), p(10), p(11), p(12)};
+  inst.expected_core = {p(9), p(10), p(11), p(12)};
+  return inst;
+}
+
+}  // namespace bftcup::graph::figures

@@ -1,0 +1,57 @@
+// Concrete knowledge connectivity graphs for every figure in the paper.
+//
+// The paper's figures are drawings; the text pins several of their
+// properties (PD_1 = {2,3,4}, which processes are faulty, which sets are
+// sinks, the isSink evaluations of Section IV). Each builder here recreates
+// a graph consistent with *all* of those pinned properties; the figure tests
+// assert them one by one, so any divergence from the paper is caught.
+#pragma once
+
+#include "graph/digraph.hpp"
+
+namespace bftcup::graph::figures {
+
+/// A figure instance: the graph plus its ground-truth fault configuration.
+struct Instance {
+  Digraph graph;
+  IdSet faulty;
+  std::size_t f = 0;       ///< system fault threshold
+  IdSet expected_sink;     ///< sink of G_safe ({} when inapplicable)
+  IdSet expected_core;     ///< core of G_safe ({} when inapplicable)
+};
+
+/// Fig. 1a: 8 processes, Byzantine 4 bridges {1,2,3} and {5,6,7,8};
+/// does NOT satisfy the BFT-CUP requirements (removing 4 splits G_safe).
+[[nodiscard]] Instance fig1a();
+
+/// Fig. 1b: 8 processes, Byzantine 4; satisfies BFT-CUP with f = 1;
+/// sink of G_safe = {1,2,3}. PD_1 = {2,3,4} as in the paper.
+[[nodiscard]] Instance fig1b();
+
+/// Fig. 2a (System A): {1,2,3,4} complete, process 4 faulty, f = 1.
+[[nodiscard]] Instance fig2a();
+
+/// Fig. 2b (System B): {5,6,7,8} complete, process 5 faulty, f = 1.
+[[nodiscard]] Instance fig2b();
+
+/// Fig. 2c (System AB): the union of A and B bridged by 4 <-> 5; 1-OSR,
+/// all processes correct.
+[[nodiscard]] Instance fig2c();
+
+/// Fig. 3a: 8 processes, only 1 faulty (f = 1), 2-OSR with sink {5,7,8};
+/// the non-sink set S1 = {1,2,3,4,6} satisfies isSink(2, S1, {5,7}).
+[[nodiscard]] Instance fig3a();
+
+/// Fig. 3b: 7 processes, 5 and 7 faulty (f = 2), 3-OSR with sink
+/// {1,2,3,4,6}; processes {2,3,4,6} cannot distinguish it from fig3a.
+[[nodiscard]] Instance fig3b();
+
+/// Fig. 4a: fig. 2c plus links 6->3 and 7->2; satisfies BFT-CUPFT with
+/// faulty = {5}, f = 1, core = {1,2,3,4} (full-graph sink != core).
+[[nodiscard]] Instance fig4a();
+
+/// Fig. 4b: a 12-process extended-OSR graph whose sink equals its core
+/// {8..12}; faulty = {8}, f = 1.
+[[nodiscard]] Instance fig4b();
+
+}  // namespace bftcup::graph::figures

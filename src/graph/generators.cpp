@@ -1,0 +1,151 @@
+#include "graph/generators.hpp"
+
+#include <cassert>
+
+namespace bftcup::graph::generators {
+namespace {
+
+/// Picks `count` distinct elements of `pool` uniformly.
+IdSet pick_distinct(const std::vector<ProcessId>& pool, std::size_t count,
+                    Rng& rng) {
+  assert(count <= pool.size());
+  std::vector<ProcessId> shuffled = pool;
+  rng.shuffle(shuffled);
+  IdSet out;
+  for (std::size_t i = 0; i < count; ++i) out.insert(shuffled[i]);
+  return out;
+}
+
+void add_complete(Digraph& g, const std::vector<ProcessId>& members) {
+  for (ProcessId a : members) {
+    for (ProcessId b : members) {
+      if (a != b) g.add_edge(a, b);
+    }
+  }
+}
+
+}  // namespace
+
+GeneratedSystem random_bft_cup(const BftCupParams& params, Rng& rng) {
+  assert(params.byzantine_in_sink <= params.f);
+  assert(params.sink_size >= 2 * params.f + 1 + params.byzantine_in_sink);
+
+  GeneratedSystem sys;
+  sys.f = params.f;
+
+  std::vector<ProcessId> sink_ids;
+  for (std::size_t i = 0; i < params.sink_size; ++i) {
+    sink_ids.emplace_back(i + 1);
+  }
+  std::vector<ProcessId> non_sink_ids;
+  for (std::size_t i = 0; i < params.non_sink; ++i) {
+    non_sink_ids.emplace_back(100 + i);
+  }
+
+  // Complete sink: κ = |sink|-1 >= f+1 survives removing <= f members.
+  add_complete(sys.graph, sink_ids);
+  for (ProcessId id : sink_ids) sys.sink.insert(id);
+
+  // Byzantine placement: `byzantine_in_sink` inside, remainder outside.
+  sys.faulty = pick_distinct(sink_ids, params.byzantine_in_sink, rng);
+  const std::size_t byz_outside =
+      std::min(params.f - params.byzantine_in_sink, non_sink_ids.size());
+  sys.faulty.insert_all(pick_distinct(non_sink_ids, byz_outside, rng));
+
+  // Every non-sink process knows f+1+byz_in_sink distinct sink members, so
+  // at least f+1 of its targets are correct: with a complete sink that gives
+  // f+1 node-disjoint paths to every correct sink member in G_safe.
+  const std::size_t fan_in =
+      std::min(params.f + 1 + params.byzantine_in_sink, sink_ids.size());
+  for (std::size_t i = 0; i < non_sink_ids.size(); ++i) {
+    const ProcessId id = non_sink_ids[i];
+    for (ProcessId target : pick_distinct(sink_ids, fan_in, rng)) {
+      sys.graph.add_edge(id, target);
+    }
+    // Forward chain keeps the non-sink region acyclic (a unique sink SCC).
+    if (i + 1 < non_sink_ids.size()) {
+      sys.graph.add_edge(id, non_sink_ids[i + 1]);
+    }
+    // Optional extra forward chords.
+    for (std::size_t e = 0; e < params.extra_edges; ++e) {
+      if (i + 2 < non_sink_ids.size()) {
+        const std::size_t j =
+            i + 2 + rng.next_below(non_sink_ids.size() - i - 2);
+        sys.graph.add_edge(id, non_sink_ids[j]);
+      }
+    }
+  }
+  return sys;
+}
+
+GeneratedSystem random_cupft(const CupftParams& params, Rng& rng) {
+  assert(params.byzantine_in_core <= params.f);
+  assert(params.core_size >= 2 * params.f + 1 + params.byzantine_in_core);
+
+  GeneratedSystem sys;
+  sys.f = params.f;
+
+  std::vector<ProcessId> core_ids;
+  for (std::size_t i = 0; i < params.core_size; ++i) {
+    core_ids.emplace_back(i + 1);
+  }
+  std::vector<ProcessId> periphery_ids;
+  for (std::size_t i = 0; i < params.periphery; ++i) {
+    periphery_ids.emplace_back(100 + i);
+  }
+
+  add_complete(sys.graph, core_ids);
+  for (ProcessId id : core_ids) sys.sink.insert(id);
+  sys.faulty = pick_distinct(core_ids, params.byzantine_in_core, rng);
+
+  // Safe-core connectivity: k(K_m) = floor((m+1)/2) by the paper's isSink*
+  // definition (g <= min(κ-1, (m-1)/2)); property C2 demands that many
+  // node-disjoint periphery->core paths, so each periphery process knows
+  // k_safe + byz distinct core members (>= k_safe of them correct).
+  const std::size_t m_safe = params.core_size - params.byzantine_in_core;
+  const std::size_t k_safe = (m_safe + 1) / 2;
+  const std::size_t fan_in =
+      std::min(k_safe + params.byzantine_in_core, core_ids.size());
+
+  for (std::size_t i = 0; i < periphery_ids.size(); ++i) {
+    const ProcessId id = periphery_ids[i];
+    for (ProcessId target : pick_distinct(core_ids, fan_in, rng)) {
+      sys.graph.add_edge(id, target);
+    }
+    // A simple cycle (κ = 1): periphery subsets can never witness g >= 1,
+    // keeping the core's connectivity a strict maximum (C1).
+    if (periphery_ids.size() > 1) {
+      sys.graph.add_edge(id, periphery_ids[(i + 1) % periphery_ids.size()]);
+    }
+  }
+  return sys;
+}
+
+GeneratedSystem random_split_brain(const BftCupParams& side, Rng& rng) {
+  GeneratedSystem a = random_bft_cup(side, rng);
+  GeneratedSystem b = random_bft_cup(side, rng);
+
+  GeneratedSystem sys;
+  sys.f = side.f;
+  // Side A keeps its ids; side B is shifted by 1000.
+  constexpr std::uint64_t kOffset = 1000;
+  sys.graph = a.graph;
+  for (ProcessId v : b.graph.vertices()) {
+    const ProcessId shifted(v.raw() + kOffset);
+    sys.graph.add_vertex(shifted);
+    for (ProcessId w : b.graph.out_neighbors(v)) {
+      sys.graph.add_edge(shifted, ProcessId(w.raw() + kOffset));
+    }
+  }
+  // Bridge one Byzantine sink member per side (the fig. 2c shape: in the
+  // combined system everyone is correct, and the bridges can be delayed to
+  // make each side's execution indistinguishable from its solo system).
+  assert(!a.faulty.empty() && !b.faulty.empty());
+  const ProcessId bridge_a = *a.faulty.begin();
+  const ProcessId bridge_b(b.faulty.begin()->raw() + kOffset);
+  sys.graph.add_edge(bridge_a, bridge_b);
+  sys.graph.add_edge(bridge_b, bridge_a);
+  return sys;
+}
+
+}  // namespace bftcup::graph::generators

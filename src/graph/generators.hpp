@@ -1,0 +1,63 @@
+// Parameterized random-graph families for tests and benchmarks.
+//
+// Construction is "guaranteed by design, then verified": each generator
+// builds a graph that satisfies the target model's requirements
+// structurally and (for small instances) callers can re-check with the
+// omniscient checkers. Randomness only shapes the parts the requirements
+// leave free (which sink members a non-sink process knows, periphery
+// topology, which processes are Byzantine).
+#pragma once
+
+#include "common/random.hpp"
+#include "graph/digraph.hpp"
+
+namespace bftcup::graph::generators {
+
+struct GeneratedSystem {
+  Digraph graph;
+  IdSet faulty;
+  std::size_t f = 0;
+  IdSet sink;  ///< ground-truth sink/core of G_safe
+};
+
+struct BftCupParams {
+  std::size_t f = 1;
+  /// Total sink size; must be >= 2f+1 + byzantine_in_sink.
+  std::size_t sink_size = 4;
+  std::size_t non_sink = 4;
+  /// How many of the Byzantine processes sit inside the sink (<= f).
+  std::size_t byzantine_in_sink = 1;
+  /// Extra random knowledge edges among non-sink processes, per process.
+  std::size_t extra_edges = 1;
+};
+
+/// A random graph satisfying the BFT-CUP requirements (Theorem 1):
+/// the sink is a complete component (κ = size-1 >= f+1 after removing
+/// faults), every correct non-sink process knows >= f+1+byz distinct sink
+/// members, and non-sink processes form a random forest of knowledge with
+/// `extra_edges` chords.
+[[nodiscard]] GeneratedSystem random_bft_cup(const BftCupParams& params,
+                                             Rng& rng);
+
+struct CupftParams {
+  std::size_t f = 1;
+  /// Core size; must be >= 2f+1 + byzantine_in_core, and large enough that
+  /// the safe core's connectivity strictly dominates (core is complete).
+  std::size_t core_size = 5;
+  std::size_t periphery = 5;
+  std::size_t byzantine_in_core = 1;
+};
+
+/// A random graph satisfying the BFT-CUPFT requirements (Section V):
+/// complete core (strict connectivity maximum), periphery arranged as a
+/// simple cycle (κ = 1, so no periphery subset can pass the predicate with
+/// g >= 1), each periphery process knowing >= f+1+byz distinct core members.
+[[nodiscard]] GeneratedSystem random_cupft(const CupftParams& params,
+                                           Rng& rng);
+
+/// Two BFT-CUP systems bridged by a single pair of mutual edges — the
+/// Fig. 2c shape generalized; used by the impossibility experiments.
+[[nodiscard]] GeneratedSystem random_split_brain(const BftCupParams& side,
+                                                 Rng& rng);
+
+}  // namespace bftcup::graph::generators

@@ -1,0 +1,26 @@
+// Graph import/export: Graphviz DOT (for inspecting experiment inputs) and
+// a simple edge-list text format (for test fixtures).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "graph/digraph.hpp"
+
+namespace bftcup::graph::io {
+
+/// Renders the graph as DOT. Faulty vertices (if given) are drawn doubled.
+[[nodiscard]] std::string to_dot(const Digraph& g, const IdSet& faulty = {});
+
+/// Edge-list format, one item per line:
+///   "a -> b"   adds edge a -> b (a, b are unsigned ids)
+///   "v a"      adds isolated vertex a
+/// Blank lines and lines starting with '#' are skipped.
+/// Returns nullopt on malformed input.
+[[nodiscard]] std::optional<Digraph> parse_edge_list(std::string_view text);
+
+/// Inverse of parse_edge_list (vertices without edges are emitted as "v a").
+[[nodiscard]] std::string to_edge_list(const Digraph& g);
+
+}  // namespace bftcup::graph::io

@@ -1,0 +1,45 @@
+// Dinic max-flow on unit-capacity-style networks.
+//
+// Used by connectivity.{hpp,cpp} to count internally node-disjoint paths
+// (Menger's theorem via vertex splitting). Capacities are small integers, so
+// int is ample and overflow-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bftcup::graph {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t node_count);
+
+  /// Adds a directed edge with the given capacity; returns the edge index
+  /// (the reverse edge is index+1).
+  std::size_t add_edge(std::size_t from, std::size_t to, int capacity);
+
+  /// Computes max flow from s to t, stopping early once `limit` units have
+  /// been pushed (useful for "are there >= k disjoint paths" checks).
+  /// May be called once per instance.
+  int run(std::size_t s, std::size_t t, int limit = 1 << 30);
+
+  /// Flow pushed on edge `e` (as returned by add_edge), valid after run().
+  [[nodiscard]] int flow_on(std::size_t e) const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    int capacity;
+    int original;
+  };
+
+  bool bfs(std::size_t s, std::size_t t);
+  int dfs(std::size_t u, std::size_t t, int pushed);
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace bftcup::graph

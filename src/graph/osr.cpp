@@ -1,0 +1,90 @@
+#include "graph/osr.hpp"
+
+#include "graph/condensation.hpp"
+#include "graph/connectivity.hpp"
+
+namespace bftcup::graph {
+
+OsrReport check_k_osr(const Digraph& g, std::size_t k) {
+  OsrReport report;
+  if (g.vertex_count() == 0) {
+    report.reason = "empty graph";
+    return report;
+  }
+  if (!g.weakly_connected()) {
+    report.reason = "undirected counterpart is not connected";
+    return report;
+  }
+  const Condensation c = condense(g);
+  if (c.sink_components.size() != 1) {
+    report.reason = "condensation has " +
+                    std::to_string(c.sink_components.size()) +
+                    " sinks (need exactly 1)";
+    return report;
+  }
+  const IdSet sink = c.sccs.members[c.sink_components.front()];
+  const Digraph sink_graph = g.induced(sink);
+  if (sink.size() == 1) {
+    // A singleton sink is k-strongly connected for no k >= 1 under the
+    // disjoint-paths definition; accept only k == 0 (degenerate).
+    if (k >= 1) {
+      report.reason = "sink is a singleton, cannot be k-strongly connected";
+      return report;
+    }
+  } else if (!is_k_strongly_connected(sink_graph, k)) {
+    report.reason = "sink component is not " + std::to_string(k) +
+                    "-strongly connected";
+    return report;
+  }
+  const IdSet non_sink = g.vertices().set_difference(sink);
+  if (!all_pairs_k_connected(g, non_sink, sink, k)) {
+    report.reason = "a non-sink process lacks " + std::to_string(k) +
+                    " node-disjoint paths into the sink";
+    return report;
+  }
+  report.satisfied = true;
+  report.sink = sink;
+  return report;
+}
+
+std::size_t max_osr_k(const Digraph& g) {
+  if (g.vertex_count() == 0 || !g.weakly_connected()) return 0;
+  const Condensation c = condense(g);
+  if (c.sink_components.size() != 1) return 0;
+  const IdSet sink = c.sccs.members[c.sink_components.front()];
+  if (sink.size() <= 1) return 0;
+
+  const Digraph sink_graph = g.induced(sink);
+  std::size_t k = strong_connectivity(sink_graph);
+
+  // The non-sink-to-sink disjoint-path requirement can only lower k.
+  const IdSet non_sink = g.vertices().set_difference(sink);
+  while (k > 0 && !all_pairs_k_connected(g, non_sink, sink, k)) --k;
+  return k;
+}
+
+BftCupReport check_bft_cup_requirements(const Digraph& g, const IdSet& faulty,
+                                        std::size_t f) {
+  BftCupReport report;
+  if (faulty.size() > f) {
+    report.reason = "more than f processes are faulty";
+    return report;
+  }
+  const IdSet correct = g.vertices().set_difference(faulty);
+  const Digraph safe = g.induced(correct);
+  const OsrReport osr = check_k_osr(safe, f + 1);
+  if (!osr.satisfied) {
+    report.reason = "G_safe is not (f+1)-OSR: " + osr.reason;
+    return report;
+  }
+  if (osr.sink.size() < 2 * f + 1) {
+    report.reason = "sink of G_safe has " + std::to_string(osr.sink.size()) +
+                    " processes (< 2f+1)";
+    return report;
+  }
+  report.satisfied = true;
+  report.safe_sink = osr.sink;
+  return report;
+}
+
+}  // namespace bftcup::graph

@@ -1,0 +1,44 @@
+// k-One-Sink-Reducibility (Definition 1) and the BFT-CUP graph requirements
+// (Theorem 1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace bftcup::graph {
+
+struct OsrReport {
+  bool satisfied = false;
+  /// Populated on success.
+  IdSet sink;
+  /// Human-readable reason on failure (for diagnostics/tests).
+  std::string reason;
+};
+
+/// Checks Definition 1: (1) undirected counterpart connected, (2) exactly one
+/// sink SCC, (3) sink is k-strongly connected, (4) >= k node-disjoint paths
+/// from every non-sink process to every sink process.
+[[nodiscard]] OsrReport check_k_osr(const Digraph& g, std::size_t k);
+
+/// The largest k such that g is k-OSR; 0 if not even 1-OSR (the structural
+/// properties (1)-(2) fail, or the sink is a singleton with no connectivity).
+[[nodiscard]] std::size_t max_osr_k(const Digraph& g);
+
+struct BftCupReport {
+  bool satisfied = false;
+  IdSet safe_sink;  ///< Sink of G_safe when satisfied.
+  std::string reason;
+};
+
+/// Checks Theorem 1 on the *safe subgraph* G_safe = g[correct]:
+///   (a) G_safe is (f+1)-OSR, and (b) |sink(G_safe)| >= 2f+1.
+/// `faulty` lists the Byzantine processes (ground truth, available to the
+/// omniscient checker only — protocols never see it).
+[[nodiscard]] BftCupReport check_bft_cup_requirements(const Digraph& g,
+                                                      const IdSet& faulty,
+                                                      std::size_t f);
+
+}  // namespace bftcup::graph

@@ -1,0 +1,81 @@
+#include "graph/paths.hpp"
+
+#include <map>
+
+#include "graph/maxflow.hpp"
+
+namespace bftcup::graph {
+
+std::vector<std::vector<ProcessId>> disjoint_paths(const Digraph& g,
+                                                   ProcessId from,
+                                                   ProcessId to) {
+  std::vector<std::vector<ProcessId>> result;
+  const auto src = g.index_of(from);
+  const auto dst = g.index_of(to);
+  if (!src || !dst || *src == *dst) return result;
+
+  const std::size_t n = g.vertex_count();
+  constexpr int kInf = 1 << 29;
+
+  // Same construction as connectivity.cpp: node 2v = v_in, 2v+1 = v_out,
+  // but real edges carry capacity 1 so the flow decomposition below walks
+  // concrete unit paths.
+  MaxFlow flow(2 * n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const int cap = (v == *src || v == *dst) ? kInf : 1;
+    flow.add_edge(2 * v, 2 * v + 1, cap);
+  }
+  // edge index -> (u, v) in graph terms.
+  std::vector<std::pair<std::size_t, std::size_t>> real_edges;
+  std::vector<std::size_t> flow_edge_ids;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v : g.out(u)) {
+      flow_edge_ids.push_back(flow.add_edge(2 * u + 1, 2 * v, 1));
+      real_edges.emplace_back(u, v);
+    }
+  }
+  const int total = flow.run(2 * *src + 1, 2 * *dst, kInf);
+  if (total <= 0) return result;
+
+  // Successor map of saturated edges. Internal vertices carry at most one
+  // unit, so every vertex except `from` has at most one used out-edge;
+  // `from` has `total` of them.
+  std::multimap<std::size_t, std::size_t> next;
+  for (std::size_t i = 0; i < real_edges.size(); ++i) {
+    if (flow.flow_on(flow_edge_ids[i]) > 0) {
+      next.emplace(real_edges[i].first, real_edges[i].second);
+    }
+  }
+
+  // Detach the first hops before walking: the walk erases map entries and
+  // must not invalidate this iteration.
+  std::vector<std::size_t> first_hops;
+  for (auto [it, end] = next.equal_range(*src); it != end; ++it) {
+    first_hops.push_back(it->second);
+  }
+  next.erase(*src);
+
+  for (std::size_t hop0 : first_hops) {
+    std::vector<ProcessId> path = {from};
+    std::size_t at = hop0;
+    std::size_t guard = 2 * n + 2;  // breaks on any decomposition anomaly
+    while (at != *dst && at != *src && guard-- > 0) {
+      path.push_back(g.id_of(at));
+      auto hop = next.find(at);
+      if (hop == next.end()) {
+        path.clear();
+        break;
+      }
+      const std::size_t target = hop->second;
+      next.erase(hop);
+      at = target;
+    }
+    if (!path.empty() && at == *dst) {
+      path.push_back(to);
+      result.push_back(std::move(path));
+    }
+  }
+  return result;
+}
+
+}  // namespace bftcup::graph

@@ -1,0 +1,23 @@
+// Witness extraction for node-disjoint paths.
+//
+// connectivity.hpp answers "how many" internally node-disjoint paths exist;
+// experiments and diagnostics also want the paths themselves (e.g. to show
+// WHY a graph satisfies Definition 1/2, or which relays corroborated an RRB
+// delivery). Paths are recovered by decomposing a unit max-flow on the
+// vertex-split network.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace bftcup::graph {
+
+/// A maximum cardinality set of internally node-disjoint paths from `from`
+/// to `to`. Each path lists the full vertex sequence including endpoints;
+/// a direct edge yields the 2-vertex path {from, to}. Empty if unreachable
+/// or endpoints invalid/equal.
+[[nodiscard]] std::vector<std::vector<ProcessId>> disjoint_paths(
+    const Digraph& g, ProcessId from, ProcessId to);
+
+}  // namespace bftcup::graph

@@ -1,0 +1,26 @@
+// Strongly connected components (Tarjan, iterative).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace bftcup::graph {
+
+struct SccResult {
+  /// component[v] = component id of dense vertex v; ids are 0..count-1 and
+  /// assigned in reverse topological order of the condensation (Tarjan's
+  /// natural order: an SCC's id is >= the ids of SCCs it can reach).
+  std::vector<std::size_t> component;
+  std::size_t count = 0;
+
+  /// Members of each component as ProcessId sets.
+  std::vector<IdSet> members;
+};
+
+[[nodiscard]] SccResult strongly_connected_components(const Digraph& g);
+
+/// True if g (with >= 1 vertex) is strongly connected.
+[[nodiscard]] bool is_strongly_connected(const Digraph& g);
+
+}  // namespace bftcup::graph

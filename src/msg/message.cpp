@@ -1,0 +1,81 @@
+#include "msg/message.hpp"
+
+#include "codec/encoder.hpp"
+
+namespace bftcup::msg {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kGetPds:
+      return "GETPDS";
+    case MsgType::kSetPds:
+      return "SETPDS";
+    case MsgType::kGetDecidedVal:
+      return "GETDECIDEDVAL";
+    case MsgType::kDecidedVal:
+      return "DECIDEDVAL";
+    case MsgType::kPbftPrePrepare:
+      return "PBFT-PREPREPARE";
+    case MsgType::kPbftPrepare:
+      return "PBFT-PREPARE";
+    case MsgType::kPbftCommit:
+      return "PBFT-COMMIT";
+    case MsgType::kPbftViewChange:
+      return "PBFT-VIEWCHANGE";
+    case MsgType::kPbftNewView:
+      return "PBFT-NEWVIEW";
+    case MsgType::kPbftDecide:
+      return "PBFT-DECIDE";
+    case MsgType::kRrbForward:
+      return "RRB-FORWARD";
+  }
+  return "?";
+}
+
+Bytes SignedPd::payload(ProcessId owner, const IdSet& pd) {
+  codec::Encoder enc;
+  enc.put_string("pd");  // domain separation from PBFT payloads
+  enc.put_id(owner);
+  enc.put_id_set(pd);
+  return enc.take();
+}
+
+Bytes pbft_payload(MsgType phase, std::uint32_t view, Value value) {
+  codec::Encoder enc;
+  enc.put_string("pbft");
+  enc.put_u8(static_cast<std::uint8_t>(phase));
+  enc.put_u32(view);
+  enc.put_u64(value);
+  return enc.take();
+}
+
+std::size_t Message::encoded_size() const {
+  codec::Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(type));
+  enc.put_varint(pds.size());
+  for (const SignedPd& spd : pds) {
+    enc.put_id(spd.owner);
+    enc.put_id_set(spd.pd);
+    enc.put_bytes(BytesView(spd.sig.bytes.data(), spd.sig.bytes.size()));
+  }
+  enc.put_u64(value);
+  enc.put_u32(view);
+  enc.put_bytes(BytesView(sig.bytes.data(), sig.bytes.size()));
+  if (cert) {
+    enc.put_u32(cert->view);
+    enc.put_u64(cert->value);
+    enc.put_varint(cert->shares.size());
+    for (const SigShare& share : cert->shares) {
+      enc.put_id(share.signer);
+      enc.put_bytes(
+          BytesView(share.sig.bytes.data(), share.sig.bytes.size()));
+    }
+  }
+  enc.put_id(origin);
+  enc.put_id_set(origin_pd);
+  enc.put_varint(path.size());
+  for (ProcessId id : path) enc.put_id(id);
+  return enc.bytes().size();
+}
+
+}  // namespace bftcup::msg

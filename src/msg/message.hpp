@@ -1,0 +1,99 @@
+// Wire messages for every protocol in the library.
+//
+// One flat struct rather than a std::variant: the simulator routes opaque
+// messages, Byzantine behaviors mutate fields freely, and the codec gives a
+// canonical byte size for metrics. Unused fields stay empty and cost little.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/keys.hpp"
+
+namespace bftcup::msg {
+
+enum class MsgType : std::uint8_t {
+  // Discovery (Algorithm 1).
+  kGetPds,
+  kSetPds,
+  // Consensus wrapper (Algorithm 3).
+  kGetDecidedVal,
+  kDecidedVal,
+  // PBFT-style consensus core among sink/core members.
+  kPbftPrePrepare,
+  kPbftPrepare,
+  kPbftCommit,
+  kPbftViewChange,
+  kPbftNewView,
+  /// Decision certificate: value + quorum of COMMIT signatures. Lets
+  /// replicas that missed the commit quorum (e.g. partitioned by an
+  /// equivocating leader) adopt the decision safely.
+  kPbftDecide,
+  // Unauthenticated reachable-reliable-broadcast baseline (original BFT-CUP
+  // communication primitive).
+  kRrbForward,
+};
+
+[[nodiscard]] const char* to_string(MsgType type);
+
+/// A participant-detector output signed by its owner: ⟨i, PD_i⟩_i.
+/// Correct processes sign once at startup; Byzantine processes can sign any
+/// *own* PD but cannot forge other owners' entries (Alg. 1, line 1 remark).
+struct SignedPd {
+  ProcessId owner;
+  IdSet pd;
+  crypto::Signature sig;
+
+  /// Canonical byte encoding of (owner, pd) — the signed payload.
+  [[nodiscard]] static Bytes payload(ProcessId owner, const IdSet& pd);
+
+  friend bool operator==(const SignedPd&, const SignedPd&) = default;
+};
+
+/// One signer's signature over a PBFT payload.
+struct SigShare {
+  ProcessId signer;
+  crypto::Signature sig;
+
+  friend bool operator==(const SigShare&, const SigShare&) = default;
+};
+
+/// Quorum certificate: `shares.size()` signatures over
+/// pbft_payload(phase, view, value).
+struct QuorumCert {
+  std::uint32_t view = 0;
+  Value value = kNoValue;
+  std::vector<SigShare> shares;
+};
+
+struct Message {
+  MsgType type = MsgType::kGetPds;
+
+  // kSetPds.
+  std::vector<SignedPd> pds;
+
+  // Value-carrying messages (kDecidedVal, PBFT proposals).
+  Value value = kNoValue;
+
+  // PBFT.
+  std::uint32_t view = 0;
+  crypto::Signature sig{};           ///< sender's signature where applicable
+  std::optional<QuorumCert> cert;    ///< prepared-proof in view-change/new-view
+
+  // kRrbForward: unsigned PD relayed along an explicit node path.
+  ProcessId origin{};
+  IdSet origin_pd;
+  std::vector<ProcessId> path;
+
+  /// Canonical wire size in bytes (metrics only; the simulator does not
+  /// serialize for delivery).
+  [[nodiscard]] std::size_t encoded_size() const;
+};
+
+/// Canonical signed payload for PBFT phase messages.
+[[nodiscard]] Bytes pbft_payload(MsgType phase, std::uint32_t view,
+                                 Value value);
+
+}  // namespace bftcup::msg

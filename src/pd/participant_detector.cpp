@@ -1,0 +1,22 @@
+#include "pd/participant_detector.hpp"
+
+namespace bftcup::pd {
+
+ParticipantDetector ParticipantDetector::from_graph(const graph::Digraph& g) {
+  ParticipantDetector pd;
+  for (ProcessId id : g.vertices()) {
+    pd.set(id, g.out_neighbors(id));
+  }
+  return pd;
+}
+
+void ParticipantDetector::set(ProcessId id, IdSet pd) {
+  pds_[id] = std::move(pd);
+}
+
+const IdSet& ParticipantDetector::pd_of(ProcessId id) const {
+  auto it = pds_.find(id);
+  return it == pds_.end() ? empty_ : it->second;
+}
+
+}  // namespace bftcup::pd

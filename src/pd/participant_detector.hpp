@@ -1,0 +1,33 @@
+// Participant detector oracle (paper §II-C).
+//
+// PD_i returns the (fixed) set of processes that i can initially contact.
+// In deployments this is bootstrap configuration; here it is materialized
+// from a knowledge connectivity graph: PD_i = out-neighbors of i.
+#pragma once
+
+#include <map>
+
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+
+namespace bftcup::pd {
+
+class ParticipantDetector {
+ public:
+  ParticipantDetector() = default;
+
+  [[nodiscard]] static ParticipantDetector from_graph(const graph::Digraph& g);
+
+  void set(ProcessId id, IdSet pd);
+
+  /// PD_i; the empty set for unknown ids (a process that knows nobody).
+  [[nodiscard]] const IdSet& pd_of(ProcessId id) const;
+
+  [[nodiscard]] const std::map<ProcessId, IdSet>& all() const { return pds_; }
+
+ private:
+  std::map<ProcessId, IdSet> pds_;
+  IdSet empty_;
+};
+
+}  // namespace bftcup::pd

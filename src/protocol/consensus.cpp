@@ -1,0 +1,51 @@
+#include "protocol/consensus.hpp"
+
+namespace bftcup::protocol {
+
+void ValueExchange::request(const IdSet& members, sim::Context& ctx) {
+  asked_members_ = members;
+  needed_ = (members.size() + 1 + 1) / 2;  // ⌈(|S|+1)/2⌉
+  msg::Message m;
+  m.type = msg::MsgType::kGetDecidedVal;
+  ctx.broadcast(members, m);
+}
+
+void ValueExchange::set_local_decision(Value value, sim::Context& ctx) {
+  if (local_decision_) return;
+  local_decision_ = value;
+  for (ProcessId requester : pending_) reply(requester, ctx);
+  pending_.clear();
+}
+
+void ValueExchange::reply(ProcessId to, sim::Context& ctx) {
+  msg::Message m;
+  m.type = msg::MsgType::kDecidedVal;
+  m.value = *local_decision_;
+  ctx.send(to, std::move(m));
+}
+
+bool ValueExchange::handle_message(ProcessId from, const msg::Message& message,
+                                   sim::Context& ctx) {
+  switch (message.type) {
+    case msg::MsgType::kGetDecidedVal:
+      // Line 9: wait until val != ⊥, then answer.
+      if (local_decision_) {
+        reply(from, ctx);
+      } else {
+        pending_.insert(from);
+      }
+      return true;
+    case msg::MsgType::kDecidedVal: {
+      // Line 7: count identical answers from distinct members.
+      if (fetched_ || !asked_members_.contains(from)) return true;
+      IdSet& who = answers_[message.value];
+      who.insert(from);
+      if (who.size() >= needed_) fetched_ = message.value;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace bftcup::protocol

@@ -1,0 +1,47 @@
+// Algorithm 3's value exchange (lines 5-10).
+//
+// Sink/core members serve GETDECIDEDVAL once they have decided (deferred
+// replies while val = ⊥). Non-members ask every member and decide once
+// ⌈(|S|+1)/2⌉ distinct members report the same value — a majority of S
+// contains at least one correct process because |S| >= 2f+1 correct and
+// <= f Byzantine members.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "sim/process.hpp"
+
+namespace bftcup::protocol {
+
+class ValueExchange {
+ public:
+  explicit ValueExchange(ProcessId self) : self_(self) {}
+
+  /// Non-member path (Alg. 3 line 6): ask every member for the decision.
+  void request(const IdSet& members, sim::Context& ctx);
+
+  /// Member path: publish our decision; flushes deferred requests.
+  void set_local_decision(Value value, sim::Context& ctx);
+
+  /// Handles kGetDecidedVal / kDecidedVal; returns true if consumed.
+  bool handle_message(ProcessId from, const msg::Message& message,
+                      sim::Context& ctx);
+
+  /// The fetched value once ⌈(|S|+1)/2⌉ identical answers arrived.
+  [[nodiscard]] std::optional<Value> fetched() const { return fetched_; }
+
+ private:
+  void reply(ProcessId to, sim::Context& ctx);
+
+  ProcessId self_;
+  std::optional<Value> local_decision_;
+  IdSet pending_;  ///< requesters waiting for val != ⊥
+
+  IdSet asked_members_;
+  std::size_t needed_ = 0;
+  std::map<Value, IdSet> answers_;
+  std::optional<Value> fetched_;
+};
+
+}  // namespace bftcup::protocol

@@ -1,0 +1,31 @@
+// The Core algorithm's termination condition (Algorithm 4, unknown f).
+//
+// Per Theorem 8 (which fixes the g/g' typo in Algorithm 4 line 2), a
+// candidate set V is the core iff isSink*(V) holds and no proper subset of V
+// passes isSink* with connectivity >= k_Gdi(V). Operationally (property C1)
+// we additionally require the candidate to be the *strict* connectivity
+// maximum among every sink-candidate derivable from current knowledge:
+// settling early on a lower-connectivity sink the process happened to
+// discover first is exactly the mistake the extended model exists to
+// prevent. See DESIGN.md §4.2.
+#pragma once
+
+#include <optional>
+
+#include "protocol/sink_search.hpp"
+
+namespace bftcup::protocol {
+
+struct CoreResult {
+  IdSet members;    ///< V_core = S1 ∪ S2
+  std::size_t g;    ///< f_Gdi(V_core): max witness threshold
+  IdSet s1;
+  IdSet s2;
+
+  [[nodiscard]] std::size_t k() const { return g + 1; }
+};
+
+[[nodiscard]] std::optional<CoreResult> try_find_core(const KnowledgeView& view,
+                                                      const SinkSearch& search);
+
+}  // namespace bftcup::protocol

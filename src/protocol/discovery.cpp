@@ -1,0 +1,71 @@
+#include "protocol/discovery.hpp"
+
+namespace bftcup::protocol {
+
+Discovery::Discovery(ProcessId self, IdSet own_pd, SimTime period)
+    : self_(self),
+      own_pd_(std::move(own_pd)),
+      period_(period),
+      view_(self, own_pd_) {}
+
+void Discovery::start(sim::Context& ctx) {
+  if (started_) return;
+  started_ = true;
+  // Line 1: S_PD = { ⟨i, PD_i⟩_i }.
+  msg::SignedPd own;
+  own.owner = self_;
+  own.pd = own_pd_;
+  const Bytes payload = msg::SignedPd::payload(self_, own_pd_);
+  own.sig = ctx.signer().sign(payload);
+  spds_.push_back(std::move(own));
+
+  // Line 2: periodically poll everyone we know.
+  request_all(ctx);
+  ctx.set_timer(period_, kTimerKind);
+}
+
+void Discovery::request_all(sim::Context& ctx) {
+  ++rounds_;
+  msg::Message req;
+  req.type = msg::MsgType::kGetPds;
+  ctx.broadcast(view_.known(), req);
+}
+
+void Discovery::on_timer(sim::Context& ctx) {
+  if (!active_) return;
+  request_all(ctx);
+  ctx.set_timer(period_, kTimerKind);
+}
+
+bool Discovery::handle_message(ProcessId from, const msg::Message& message,
+                               sim::Context& ctx) {
+  switch (message.type) {
+    case msg::MsgType::kGetPds: {
+      // Line 3: answer with S_PD.
+      msg::Message reply;
+      reply.type = msg::MsgType::kSetPds;
+      reply.pds = spds_;
+      ctx.send(from, std::move(reply));
+      return false;
+    }
+    case msg::MsgType::kSetPds: {
+      // Lines 4-6: merge every *valid* signed PD.
+      bool changed = false;
+      for (const msg::SignedPd& spd : message.pds) {
+        if (view_.pd_of(spd.owner) != nullptr) continue;  // already have it
+        const Bytes payload = msg::SignedPd::payload(spd.owner, spd.pd);
+        if (!ctx.verifier().verify(spd.owner, payload, spd.sig)) {
+          continue;  // forged or corrupted — ignore
+        }
+        view_.add_pd(spd.owner, spd.pd);
+        spds_.push_back(spd);
+        changed = true;
+      }
+      return changed;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace bftcup::protocol

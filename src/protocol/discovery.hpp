@@ -1,0 +1,65 @@
+// The Discovery algorithm (Algorithm 1), authenticated variant.
+//
+// A reusable component embedded in nodes: periodically asks every known
+// process for the signed PDs it has collected (GETPDS), answers such
+// requests with its own collection (SETPDS), and merges verified responses
+// into a KnowledgeView. Because PDs are signed by their owners, a Byzantine
+// process can neither alter a correct process's PD nor fabricate one — it
+// can only lie about its *own* PD or stay silent.
+#pragma once
+
+#include <vector>
+
+#include "protocol/knowledge_view.hpp"
+#include "sim/process.hpp"
+
+namespace bftcup::protocol {
+
+class Discovery {
+ public:
+  /// Timer kind used for the periodic discovery task.
+  static constexpr int kTimerKind = 1;
+
+  Discovery(ProcessId self, IdSet own_pd, SimTime period);
+
+  /// Signs the node's own PD and arms the periodic task (Alg. 1 lines 1-2).
+  void start(sim::Context& ctx);
+
+  /// Handles GETPDS / SETPDS. Returns true iff the view changed (the caller
+  /// should re-evaluate its sink/core condition). Other message types are
+  /// ignored and return false.
+  bool handle_message(ProcessId from, const msg::Message& message,
+                      sim::Context& ctx);
+
+  /// Periodic task body. Re-arms itself while `active` is true — nodes
+  /// clear the flag (stop()) once they no longer need new knowledge, letting
+  /// the simulation quiesce.
+  void on_timer(sim::Context& ctx);
+
+  void stop() { active_ = false; }
+  [[nodiscard]] bool active() const { return active_; }
+
+  [[nodiscard]] const KnowledgeView& view() const { return view_; }
+
+  /// S_PD: the verified signed PDs collected so far (own PD included).
+  [[nodiscard]] const std::vector<msg::SignedPd>& signed_pds() const {
+    return spds_;
+  }
+
+  /// Number of GETPDS rounds initiated (metrics).
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  void request_all(sim::Context& ctx);
+
+  ProcessId self_;
+  IdSet own_pd_;
+  SimTime period_;
+  KnowledgeView view_;
+  std::vector<msg::SignedPd> spds_;
+  bool active_ = true;
+  bool started_ = false;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace bftcup::protocol

@@ -1,0 +1,119 @@
+#include "protocol/rrb.hpp"
+
+#include <algorithm>
+
+#include "graph/digraph.hpp"
+#include "graph/connectivity.hpp"
+
+namespace bftcup::protocol {
+
+RrbDiscovery::RrbDiscovery(ProcessId self, IdSet own_pd, std::size_t f,
+                           SimTime period)
+    : self_(self),
+      own_pd_(std::move(own_pd)),
+      f_(f),
+      period_(period),
+      contacts_(own_pd_),
+      view_(self, own_pd_) {}
+
+void RrbDiscovery::start(sim::Context& ctx) {
+  if (started_) return;
+  started_ = true;
+  flood_own(ctx);
+  ctx.set_timer(period_, kTimerKind);
+}
+
+void RrbDiscovery::flood_own(sim::Context& ctx) {
+  msg::Message m;
+  m.type = msg::MsgType::kRrbForward;
+  m.origin = self_;
+  m.origin_pd = own_pd_;
+  ctx.broadcast(contacts_, m);
+}
+
+void RrbDiscovery::on_timer(sim::Context& ctx) {
+  if (!active_) return;
+  flood_own(ctx);
+  ctx.set_timer(period_, kTimerKind);
+}
+
+void RrbDiscovery::forward(const msg::Message& original, sim::Context& ctx) {
+  msg::Message m = original;
+  m.path.push_back(self_);
+  for (ProcessId next : contacts_) {
+    if (next == m.origin) continue;
+    if (std::find(m.path.begin(), m.path.end(), next) != m.path.end()) {
+      continue;  // no cycles
+    }
+    ctx.send(next, m);
+  }
+}
+
+std::size_t RrbDiscovery::disjoint_path_strength(
+    ProcessId origin, const std::vector<std::vector<ProcessId>>& paths) {
+  ++path_checks_;
+  // Menger on the evidence subgraph: union all relay paths into a digraph
+  // origin -> ... -> self and count internally node-disjoint paths.
+  graph::Digraph evidence;
+  evidence.add_vertex(origin);
+  evidence.add_vertex(self_);
+  for (const auto& path : paths) {
+    ProcessId prev = origin;
+    for (ProcessId hop : path) {
+      evidence.add_edge(prev, hop);
+      prev = hop;
+    }
+    evidence.add_edge(prev, self_);
+  }
+  return graph::disjoint_path_count(evidence, origin, self_);
+}
+
+bool RrbDiscovery::handle_message(ProcessId from, const msg::Message& message,
+                                  sim::Context& ctx) {
+  if (message.type != msg::MsgType::kRrbForward) return false;
+  contacts_.insert(from);  // bidirectional channels: we can answer/relay back
+
+  if (message.origin == self_) return false;
+  // The last hop must be the actual sender (the network authenticates point-
+  // to-point links even without signatures).
+  if (!message.path.empty() && message.path.back() != from) return false;
+  if (message.path.empty() && message.origin != from) return false;
+  // A path containing ourselves or the origin is malformed.
+  if (std::find(message.path.begin(), message.path.end(), self_) !=
+      message.path.end()) {
+    return false;
+  }
+
+  // Relay-amplification bound: beyond this many distinct paths per
+  // (origin, contents) pair, further copies are dropped instead of
+  // re-flooded. Keeps worst-case traffic polynomial; > f disjoint paths fit
+  // comfortably for every experiment's f.
+  constexpr std::size_t kMaxPathsPerOrigin = 24;
+
+  OriginState& state = origins_[message.origin];
+  auto& paths = state.paths_by_pd[message.origin_pd];
+  // Only a never-seen relay path is recorded and re-forwarded.
+  if (paths.size() >= kMaxPathsPerOrigin ||
+      std::find(paths.begin(), paths.end(), message.path) != paths.end()) {
+    return false;
+  }
+  paths.push_back(message.path);
+
+  bool newly_delivered = false;
+  if (!state.delivered) {
+    // Direct receipt from the origin itself counts as one trusted path;
+    // otherwise require > f node-disjoint corroborating paths.
+    const std::size_t strength =
+        message.path.empty() ? f_ + 1
+                             : disjoint_path_strength(message.origin, paths);
+    if (strength > f_) {
+      state.delivered = true;
+      view_.add_pd(message.origin, message.origin_pd);
+      newly_delivered = true;
+    }
+  }
+  forward(message, ctx);
+  return newly_delivered;
+}
+
+}  // namespace bftcup::protocol

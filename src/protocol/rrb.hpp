@@ -1,0 +1,70 @@
+// Reachable reliable broadcast — the *unauthenticated* baseline.
+//
+// The original BFT-CUP [10] has no signatures, so a PD is only trusted once
+// it arrives over more than f node-disjoint paths (a Byzantine relay can
+// corrupt any single path). This module implements that primitive for the
+// signed-vs-unsigned ablation (experiment P4): PDs are flooded with an
+// explicit relay path, and a receiver accepts an origin's PD once the
+// evidence subgraph carries > f internally node-disjoint origin->self paths
+// agreeing on the same contents.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "protocol/knowledge_view.hpp"
+#include "sim/process.hpp"
+
+namespace bftcup::protocol {
+
+class RrbDiscovery {
+ public:
+  static constexpr int kTimerKind = 3;
+
+  RrbDiscovery(ProcessId self, IdSet own_pd, std::size_t f, SimTime period);
+
+  /// Floods our own PD and arms periodic re-flooding (lossless channels make
+  /// one round sufficient; the period only matters for late joiners).
+  void start(sim::Context& ctx);
+
+  /// Handles kRrbForward. Returns true iff a new PD was *delivered*
+  /// (accepted over > f disjoint paths).
+  bool handle_message(ProcessId from, const msg::Message& message,
+                      sim::Context& ctx);
+
+  void on_timer(sim::Context& ctx);
+  void stop() { active_ = false; }
+
+  /// View assembled from delivered PDs only.
+  [[nodiscard]] const KnowledgeView& view() const { return view_; }
+
+  /// Paths examined per delivery decision (metrics: verification cost).
+  [[nodiscard]] std::uint64_t path_checks() const { return path_checks_; }
+
+ private:
+  struct OriginState {
+    /// Candidate contents -> relay paths over which they arrived
+    /// (path = intermediate relays, origin and self excluded).
+    std::map<IdSet, std::vector<std::vector<ProcessId>>> paths_by_pd;
+    bool delivered = false;
+  };
+
+  void flood_own(sim::Context& ctx);
+  void forward(const msg::Message& original, sim::Context& ctx);
+  [[nodiscard]] std::size_t disjoint_path_strength(
+      ProcessId origin, const std::vector<std::vector<ProcessId>>& paths);
+
+  ProcessId self_;
+  IdSet own_pd_;
+  std::size_t f_;
+  SimTime period_;
+  bool active_ = true;
+  bool started_ = false;
+
+  IdSet contacts_;  ///< own PD plus every process that has messaged us
+  std::map<ProcessId, OriginState> origins_;
+  KnowledgeView view_;
+  std::uint64_t path_checks_ = 0;
+};
+
+}  // namespace bftcup::protocol

@@ -1,0 +1,19 @@
+#include "protocol/sink.hpp"
+
+namespace bftcup::protocol {
+
+std::optional<SinkResult> try_find_sink(const KnowledgeView& view,
+                                        std::size_t f,
+                                        const SinkSearch& search) {
+  for (const SinkCandidate& c : search.candidates(view)) {
+    if (c.g != f) continue;  // Alg. 2 line 3 instantiates the predicate at f
+    SinkResult result;
+    result.members = c.members();
+    result.s1 = c.s1;
+    result.s2 = c.s2;
+    return result;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bftcup::protocol

@@ -1,0 +1,25 @@
+// The Sink algorithm's termination condition (Algorithm 2, known f).
+//
+// Algorithm 2 = fork Discovery, then wait until ∃ S1 ⊆ S_received,
+// S2 ⊆ S_known \ S1 with isSink(f, S1, S2). Nodes call try_find_sink after
+// every knowledge change; a non-nullopt result is the returned sink
+// (Theorem 4: S1 ∪ S2 contains all and only the sink members).
+#pragma once
+
+#include <optional>
+
+#include "protocol/sink_search.hpp"
+
+namespace bftcup::protocol {
+
+struct SinkResult {
+  IdSet members;  ///< S1 ∪ S2
+  IdSet s1;
+  IdSet s2;
+};
+
+[[nodiscard]] std::optional<SinkResult> try_find_sink(const KnowledgeView& view,
+                                                      std::size_t f,
+                                                      const SinkSearch& search);
+
+}  // namespace bftcup::protocol

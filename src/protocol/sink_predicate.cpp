@@ -1,0 +1,122 @@
+#include "protocol/sink_predicate.hpp"
+
+#include <cassert>
+
+#include "graph/connectivity.hpp"
+#include "graph/scc.hpp"
+
+namespace bftcup::protocol {
+namespace {
+
+/// Derives S2 for a given (f, S1): every known process outside S1 pointed to
+/// by more than f members of S1 (property P4).
+IdSet derive_s2(const KnowledgeView& view, std::size_t f, const IdSet& s1) {
+  IdSet s2;
+  for (ProcessId j : view.known().set_difference(s1)) {
+    if (view.in_degree_from(s1, j) > f) s2.insert(j);
+  }
+  return s2;
+}
+
+/// Property P3 under the erratum reading: members of S1 whose PD escapes
+/// S1 ∪ S2.
+std::size_t escape_count(const KnowledgeView& view, const IdSet& s1,
+                         const IdSet& s2) {
+  const IdSet inside = s1.set_union(s2);
+  std::size_t count = 0;
+  for (ProcessId i : s1) {
+    const IdSet* pd = view.pd_of(i);
+    if (pd == nullptr) continue;
+    for (ProcessId t : *pd) {
+      if (!inside.contains(t)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+graph::Digraph induced_knowledge(const KnowledgeView& view, const IdSet& s1) {
+  graph::Digraph g;
+  for (ProcessId id : s1) g.add_vertex(id);
+  for (ProcessId id : s1) {
+    const IdSet* pd = view.pd_of(id);
+    if (pd == nullptr) continue;
+    for (ProcessId t : *pd) {
+      if (s1.contains(t)) g.add_edge(id, t);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+std::optional<IdSet> is_sink(const KnowledgeView& view, std::size_t f,
+                             const IdSet& s1) {
+  // P1: size and "connectivity of S1 is computable" (S1 ⊆ S_received).
+  if (s1.size() < 2 * f + 1) return std::nullopt;
+  if (!s1.is_subset_of(view.received())) return std::nullopt;
+
+  // P2: κ(K[S1]) >= f+1.
+  const graph::Digraph sub = induced_knowledge(view, s1);
+  if (!graph::is_k_strongly_connected(sub, f + 1)) return std::nullopt;
+
+  // P4 then P3 (erratum order; see header).
+  IdSet s2 = derive_s2(view, f, s1);
+  if (escape_count(view, s1, s2) > f) return std::nullopt;
+  return s2;
+}
+
+bool is_sink(const KnowledgeView& view, std::size_t f, const IdSet& s1,
+             const IdSet& s2) {
+  const auto derived = is_sink(view, f, s1);
+  return derived.has_value() && *derived == s2;
+}
+
+std::vector<AdmissibleSplit> admissible_thresholds(const KnowledgeView& view,
+                                                   const IdSet& s1) {
+  std::vector<AdmissibleSplit> out;
+  if (s1.empty() || !s1.is_subset_of(view.received())) return out;
+
+  const graph::Digraph sub = induced_knowledge(view, s1);
+  const std::size_t kappa = graph::strong_connectivity(sub);
+  if (kappa == 0) return out;
+
+  // g is bounded by P2 (g <= κ-1) and P1 (2g+1 <= |S1|).
+  const std::size_t g_max = std::min(kappa - 1, (s1.size() - 1) / 2);
+  for (std::size_t g = 0; g <= g_max; ++g) {
+    IdSet s2 = derive_s2(view, g, s1);
+    if (escape_count(view, s1, s2) <= g) {
+      out.push_back({g, std::move(s2)});
+    }
+  }
+  return out;
+}
+
+std::optional<std::size_t> is_sink_star(const KnowledgeView& view,
+                                        const IdSet& s) {
+  const IdSet base = s.set_intersection(view.received());
+  assert(base.size() <= 24 && "is_sink_star is exhaustive; candidate too big");
+  const auto& ids = base.values();
+  const std::size_t n = ids.size();
+
+  std::optional<std::size_t> best;
+  // Enumerate S1 ⊆ S ∩ S_received (non-empty).
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+    IdSet s1;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (mask & (std::uint64_t{1} << b)) s1.insert(ids[b]);
+    }
+    // The split must cover S exactly: S2 = S \ S1 is forced.
+    const IdSet wanted_s2 = s.set_difference(s1);
+    for (const AdmissibleSplit& split : admissible_thresholds(view, s1)) {
+      if (split.s2 == wanted_s2) {
+        if (!best || split.g > *best) best = split.g;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace bftcup::protocol

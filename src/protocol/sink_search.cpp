@@ -1,0 +1,90 @@
+#include "protocol/sink_search.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "graph/scc.hpp"
+
+namespace bftcup::protocol {
+namespace {
+
+/// SCCs of the knowledge graph restricted to processes with received PDs —
+/// any strongly connected S1 (P2 needs κ >= 1) is a subset of one of these.
+std::vector<IdSet> received_sccs(const KnowledgeView& view) {
+  const graph::Digraph k = view.knowledge_graph().induced(view.received());
+  return graph::strongly_connected_components(k).members;
+}
+
+void collect_candidates_for(const KnowledgeView& view, const IdSet& s1,
+                            std::vector<SinkCandidate>& out) {
+  for (AdmissibleSplit& split : admissible_thresholds(view, s1)) {
+    out.push_back({s1, std::move(split.s2), split.g});
+  }
+}
+
+}  // namespace
+
+std::vector<SinkCandidate> ExhaustiveSinkSearch::candidates(
+    const KnowledgeView& view) const {
+  std::vector<SinkCandidate> out;
+  for (const IdSet& scc : received_sccs(view)) {
+    if (scc.size() < 1) continue;
+    if (scc.size() > options_.exhaustive_cap) {
+      LOG_WARN("sink_search") << "SCC of size " << scc.size()
+                              << " exceeds exhaustive cap "
+                              << options_.exhaustive_cap << "; skipping";
+      continue;
+    }
+    const auto& ids = scc.values();
+    const std::size_t n = ids.size();
+    for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+      IdSet s1;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (mask & (std::uint64_t{1} << b)) s1.insert(ids[b]);
+      }
+      collect_candidates_for(view, s1, out);
+    }
+  }
+  return out;
+}
+
+std::vector<SinkCandidate> StructuredSinkSearch::candidates(
+    const KnowledgeView& view) const {
+  std::vector<SinkCandidate> out;
+  for (const IdSet& scc : received_sccs(view)) {
+    const auto& ids = scc.values();
+    const std::size_t n = ids.size();
+    const std::size_t cap = std::min(options_.removal_cap, n - 1);
+
+    // C itself, then C \ D for every removal set D with |D| <= cap.
+    collect_candidates_for(view, scc, out);
+    for (std::size_t d = 1; d <= cap; ++d) {
+      std::vector<std::size_t> combo(d);
+      for (std::size_t i = 0; i < d; ++i) combo[i] = i;
+      bool more = true;
+      while (more) {
+        IdSet s1 = scc;
+        for (std::size_t idx : combo) s1.erase(ids[idx]);
+        collect_candidates_for(view, s1, out);
+
+        // Advance to the next d-combination of {0..n-1}.
+        more = false;
+        for (std::size_t i = d; i-- > 0;) {
+          if (combo[i] < n - d + i) {
+            ++combo[i];
+            for (std::size_t j = i + 1; j < d; ++j) combo[j] = combo[j - 1] + 1;
+            more = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<SinkSearch> make_default_search() {
+  return std::make_unique<ExhaustiveSinkSearch>();
+}
+
+}  // namespace bftcup::protocol

@@ -1,0 +1,85 @@
+// Candidate enumeration for the Sink (Alg. 2) and Core (Alg. 4) algorithms.
+//
+// The algorithms as specified quantify existentially over subsets of
+// S_received — an exponential search. Two strategies are provided behind one
+// interface (DESIGN.md §4.3):
+//
+//  * ExhaustiveSinkSearch — bitmask enumeration of subsets inside each SCC
+//    of the received-knowledge graph (any strongly connected S1 lies inside
+//    one SCC). Reference semantics; caps SCC size.
+//  * StructuredSinkSearch — candidate S1s are SCCs of the received-knowledge
+//    graph plus bounded removals C \ D, |D| <= removal_cap. Polynomial for
+//    fixed cap; exploits that satisfying S1s are SCC-shaped (correct sink
+//    members are mutually (f+1)-connected, and at most f Byzantine/silent
+//    processes perturb the component).
+//
+// Property tests cross-validate the two on random graphs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "protocol/sink_predicate.hpp"
+
+namespace bftcup::protocol {
+
+/// One satisfying assignment of the isSink predicate.
+struct SinkCandidate {
+  IdSet s1;
+  IdSet s2;
+  std::size_t g = 0;  ///< fault threshold witnessing this candidate
+
+  [[nodiscard]] IdSet members() const { return s1.set_union(s2); }
+};
+
+struct SearchOptions {
+  /// Exhaustive strategy: SCCs larger than this are skipped (with a warning)
+  /// rather than enumerated.
+  std::size_t exhaustive_cap = 16;
+  /// Structured strategy: maximum |D| for C \ D candidates.
+  std::size_t removal_cap = 3;
+};
+
+class SinkSearch {
+ public:
+  virtual ~SinkSearch() = default;
+
+  /// Every satisfying (S1, S2, g) derivable from `view` under the strategy's
+  /// candidate family.
+  [[nodiscard]] virtual std::vector<SinkCandidate> candidates(
+      const KnowledgeView& view) const = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+class ExhaustiveSinkSearch final : public SinkSearch {
+ public:
+  explicit ExhaustiveSinkSearch(SearchOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::vector<SinkCandidate> candidates(
+      const KnowledgeView& view) const override;
+  [[nodiscard]] const char* name() const override { return "exhaustive"; }
+
+ private:
+  SearchOptions options_;
+};
+
+class StructuredSinkSearch final : public SinkSearch {
+ public:
+  explicit StructuredSinkSearch(SearchOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::vector<SinkCandidate> candidates(
+      const KnowledgeView& view) const override;
+  [[nodiscard]] const char* name() const override { return "structured"; }
+
+ private:
+  SearchOptions options_;
+};
+
+/// Convenience: the default strategy used by nodes (exhaustive — every graph
+/// in the paper and in the test corpus has small components).
+[[nodiscard]] std::unique_ptr<SinkSearch> make_default_search();
+
+}  // namespace bftcup::protocol

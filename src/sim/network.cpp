@@ -1,0 +1,60 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace bftcup::sim {
+
+SimTime synchrony_cap(SimTime sent, const NetConfig& cfg) {
+  const SimTime base = std::max(sent, cfg.gst);
+  // Saturating add: an "asynchronous" run uses gst near kSimTimeMax.
+  if (base > kSimTimeMax - cfg.delta) return kSimTimeMax;
+  return base + cfg.delta;
+}
+
+SimTime RandomDelayPolicy::delivery_time(ProcessId /*from*/, ProcessId /*to*/,
+                                         SimTime sent, Rng& rng,
+                                         const NetConfig& cfg) {
+  const SimTime lo = sent + cfg.min_delay;
+  const SimTime hi = std::max(lo, synchrony_cap(sent, cfg));
+  if (sent >= cfg.gst) {
+    // After GST: within δ.
+    return std::min(hi, sent + std::max<SimTime>(cfg.min_delay,
+                                                 rng.next_in(1, cfg.delta)));
+  }
+  // Before GST: adversarial draw over the allowed window.
+  return rng.next_in(lo, hi);
+}
+
+GroupStretchPolicy::GroupStretchPolicy(std::unique_ptr<DelayPolicy> inner,
+                                       IdSet group_a, IdSet group_b,
+                                       SimTime release_at)
+    : inner_(std::move(inner)),
+      group_a_(std::move(group_a)),
+      group_b_(std::move(group_b)),
+      release_at_(release_at) {}
+
+SimTime GroupStretchPolicy::delivery_time(ProcessId from, ProcessId to,
+                                          SimTime sent, Rng& rng,
+                                          const NetConfig& cfg) {
+  const SimTime base = inner_->delivery_time(from, to, sent, rng, cfg);
+  const bool crosses = (group_a_.contains(from) && group_b_.contains(to)) ||
+                       (group_b_.contains(from) && group_a_.contains(to));
+  if (!crosses) return base;
+  return std::min(std::max(base, release_at_), synchrony_cap(sent, cfg));
+}
+
+SlowSenderPolicy::SlowSenderPolicy(std::unique_ptr<DelayPolicy> inner,
+                                   IdSet slow, SimTime release_at)
+    : inner_(std::move(inner)),
+      slow_(std::move(slow)),
+      release_at_(release_at) {}
+
+SimTime SlowSenderPolicy::delivery_time(ProcessId from, ProcessId to,
+                                        SimTime sent, Rng& rng,
+                                        const NetConfig& cfg) {
+  const SimTime base = inner_->delivery_time(from, to, sent, rng, cfg);
+  if (!slow_.contains(from)) return base;
+  return std::min(std::max(base, release_at_), synchrony_cap(sent, cfg));
+}
+
+}  // namespace bftcup::sim

@@ -1,0 +1,85 @@
+// Partial-synchrony delivery scheduling (paper §II-A).
+//
+// Channels are reliable and authenticated: every sent message is delivered
+// exactly once, and the receiver learns the true sender. The adversary
+// controls *when*, subject to partial synchrony: a message sent at time t is
+// delivered by max(t, GST) + δ. Before GST the delay is arbitrary within
+// that cap; after GST it is at most δ.
+#pragma once
+
+#include <memory>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace bftcup::sim {
+
+struct NetConfig {
+  SimTime gst = 0;       ///< global stabilization time
+  SimTime delta = 10;    ///< post-GST delay bound δ
+  SimTime min_delay = 1; ///< messages never arrive at their send instant
+};
+
+/// Strategy deciding each message's delivery time. Implementations must
+/// respect the partial-synchrony cap unless they explicitly model
+/// asynchrony (Table I's third row).
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+
+  [[nodiscard]] virtual SimTime delivery_time(ProcessId from, ProcessId to,
+                                              SimTime sent, Rng& rng,
+                                              const NetConfig& cfg) = 0;
+};
+
+/// Uniform random delay in [min_delay, δ] after GST; before GST, an
+/// adversarial uniform draw over the whole allowed window.
+class RandomDelayPolicy final : public DelayPolicy {
+ public:
+  [[nodiscard]] SimTime delivery_time(ProcessId from, ProcessId to,
+                                      SimTime sent, Rng& rng,
+                                      const NetConfig& cfg) override;
+};
+
+/// Wraps another policy and stretches messages crossing between two process
+/// groups until `release_at` (still capped by partial synchrony). This is
+/// the scheduler used in Theorem 7's system AB: intra-group traffic is fast,
+/// inter-group traffic arrives "after max{tA+ΔA, tB+ΔB}".
+class GroupStretchPolicy final : public DelayPolicy {
+ public:
+  GroupStretchPolicy(std::unique_ptr<DelayPolicy> inner, IdSet group_a,
+                     IdSet group_b, SimTime release_at);
+
+  [[nodiscard]] SimTime delivery_time(ProcessId from, ProcessId to,
+                                      SimTime sent, Rng& rng,
+                                      const NetConfig& cfg) override;
+
+ private:
+  std::unique_ptr<DelayPolicy> inner_;
+  IdSet group_a_;
+  IdSet group_b_;
+  SimTime release_at_;
+};
+
+/// Stretches every message *sent by* one of `slow` until `release_at`
+/// (capped by partial synchrony). Models slow-but-correct processes in the
+/// indistinguishability scenarios.
+class SlowSenderPolicy final : public DelayPolicy {
+ public:
+  SlowSenderPolicy(std::unique_ptr<DelayPolicy> inner, IdSet slow,
+                   SimTime release_at);
+
+  [[nodiscard]] SimTime delivery_time(ProcessId from, ProcessId to,
+                                      SimTime sent, Rng& rng,
+                                      const NetConfig& cfg) override;
+
+ private:
+  std::unique_ptr<DelayPolicy> inner_;
+  IdSet slow_;
+  SimTime release_at_;
+};
+
+/// Clamp helper shared by policies: the partial-synchrony delivery cap.
+[[nodiscard]] SimTime synchrony_cap(SimTime sent, const NetConfig& cfg);
+
+}  // namespace bftcup::sim

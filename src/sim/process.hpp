@@ -1,0 +1,65 @@
+// Process abstraction: event handlers + the capabilities a process may use.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "msg/message.hpp"
+
+namespace bftcup::sim {
+
+class Simulator;
+
+/// Handed to every event handler. A process can read the clock, send
+/// messages to processes it knows, arm timers, sign as itself, verify any
+/// signature, and record a decision. It can NOT reach other processes'
+/// state, keys, or the global membership — the capability set mirrors the
+/// paper's model exactly.
+class Context {
+ public:
+  Context(Simulator* sim, ProcessId self) : sim_(sim), self_(self) {}
+
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] ProcessId self() const { return self_; }
+
+  void send(ProcessId to, msg::Message message);
+  void broadcast(const IdSet& to, const msg::Message& message);
+
+  /// Arms a one-shot timer firing `delay` from now with the given kind.
+  void set_timer(SimTime delay, int kind);
+
+  [[nodiscard]] const crypto::Signer& signer() const;
+  [[nodiscard]] const crypto::Verifier& verifier() const;
+  [[nodiscard]] Rng& rng();
+
+  /// Records this process's (single) consensus decision.
+  void decide(Value value);
+
+  /// Records the sink/core membership this process settled on (metrics).
+  void report_membership(const IdSet& members);
+
+ private:
+  Simulator* sim_;
+  ProcessId self_;
+};
+
+class Process {
+ public:
+  explicit Process(ProcessId id) : id_(id) {}
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] ProcessId id() const { return id_; }
+
+  virtual void on_start(Context& ctx) = 0;
+  virtual void on_message(ProcessId from, const msg::Message& message,
+                          Context& ctx) = 0;
+  virtual void on_timer(int kind, Context& ctx);
+
+ private:
+  ProcessId id_;
+};
+
+}  // namespace bftcup::sim

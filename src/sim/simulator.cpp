@@ -1,0 +1,137 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace bftcup::sim {
+
+void Process::on_timer(int /*kind*/, Context& /*ctx*/) {}
+
+SimTime Context::now() const {
+  return sim_->now();
+}
+
+void Context::send(ProcessId to, msg::Message message) {
+  sim_->do_send(self_, to, std::move(message));
+}
+
+void Context::broadcast(const IdSet& to, const msg::Message& message) {
+  for (ProcessId id : to) {
+    if (id != self_) sim_->do_send(self_, id, message);
+  }
+}
+
+void Context::set_timer(SimTime delay, int kind) {
+  sim_->do_set_timer(self_, delay, kind);
+}
+
+const crypto::Signer& Context::signer() const {
+  return sim_->signers_.at(self_);
+}
+
+const crypto::Verifier& Context::verifier() const {
+  return sim_->verifier_;
+}
+
+Rng& Context::rng() {
+  return sim_->process_rngs_.at(self_);
+}
+
+void Context::decide(Value value) {
+  sim_->do_decide(self_, value);
+}
+
+void Context::report_membership(const IdSet& members) {
+  sim_->do_report_membership(self_, members);
+}
+
+Simulator::Simulator(Options options)
+    : options_(options),
+      rng_(options.seed),
+      registry_(options.seed ^ 0xb5f7c0deULL),
+      verifier_(&registry_),
+      policy_(std::make_unique<RandomDelayPolicy>()) {}
+
+void Simulator::add_process(std::unique_ptr<Process> process) {
+  assert(!started_ && "processes must be added before run()");
+  const ProcessId id = process->id();
+  assert(!processes_.contains(id) && "duplicate process id");
+  signers_.emplace(id, crypto::Signer(id, &registry_));
+  process_rngs_.emplace(id, rng_.fork(id.raw() + 17));
+  processes_.emplace(id, std::move(process));
+}
+
+void Simulator::set_stop_condition(std::function<bool(const Trace&)> cond) {
+  stop_ = std::move(cond);
+}
+
+void Simulator::set_delay_policy(std::unique_ptr<DelayPolicy> policy) {
+  policy_ = std::move(policy);
+}
+
+void Simulator::do_send(ProcessId from, ProcessId to, msg::Message message) {
+  trace_.record_send(message.encoded_size());
+  if (!processes_.contains(to)) {
+    // Sending to an id that does not exist (e.g. learned from a lying PD)
+    // silently drops: there is no process to deliver to.
+    return;
+  }
+  Event ev;
+  ev.time = policy_->delivery_time(from, to, now_, rng_, options_.net);
+  ev.seq = next_seq_++;
+  ev.kind = Event::Kind::kDelivery;
+  ev.from = from;
+  ev.to = to;
+  ev.message = std::move(message);
+  if (ev.time >= options_.horizon) return;  // never materializes in the run
+  queue_.push(std::move(ev));
+}
+
+void Simulator::do_set_timer(ProcessId who, SimTime delay, int kind) {
+  Event ev;
+  ev.time = now_ + std::max<SimTime>(delay, 1);
+  ev.seq = next_seq_++;
+  ev.kind = Event::Kind::kTimer;
+  ev.to = who;
+  ev.timer_kind = kind;
+  if (ev.time >= options_.horizon) return;
+  queue_.push(std::move(ev));
+}
+
+void Simulator::do_decide(ProcessId who, Value value) {
+  LOG_DEBUG("sim") << who << " decides " << value << " at t=" << now_;
+  trace_.record_decision(who, value, now_);
+}
+
+void Simulator::do_report_membership(ProcessId who, const IdSet& members) {
+  trace_.record_membership(who, members, now_);
+}
+
+void Simulator::run() {
+  started_ = true;
+  for (auto& [id, process] : processes_) {
+    Context ctx(this, id);
+    process->on_start(ctx);
+  }
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    if (now_ >= options_.horizon) break;
+
+    auto it = processes_.find(ev.to);
+    if (it == processes_.end()) continue;
+    Context ctx(this, ev.to);
+    if (ev.kind == Event::Kind::kDelivery) {
+      trace_.record_delivery();
+      it->second->on_message(ev.from, ev.message, ctx);
+    } else {
+      it->second->on_timer(ev.timer_kind, ctx);
+    }
+    if (stop_ && stop_(trace_)) break;
+  }
+}
+
+}  // namespace bftcup::sim

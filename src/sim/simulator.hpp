@@ -1,0 +1,92 @@
+// Deterministic discrete-event simulator.
+//
+// Owns the processes, the key registry (simulated PKI), the delay policy,
+// the event queue, and the trace. Single-threaded; all nondeterminism flows
+// from the seeded Rng, so a (seed, topology, policy) triple replays
+// bit-identically.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+
+#include "sim/network.hpp"
+#include "sim/process.hpp"
+#include "sim/trace.hpp"
+
+namespace bftcup::sim {
+
+class Simulator {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    NetConfig net;
+    SimTime horizon = 1'000'000;  ///< hard stop (simulated time)
+  };
+
+  explicit Simulator(Options options);
+
+  /// Registers a process. Must be called before run().
+  void add_process(std::unique_ptr<Process> process);
+
+  /// Stop early once this returns true (checked after every event).
+  void set_stop_condition(std::function<bool(const Trace&)> cond);
+
+  void set_delay_policy(std::unique_ptr<DelayPolicy> policy);
+
+  /// Runs to quiescence, the horizon, or the stop condition.
+  void run();
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] crypto::KeyRegistry& registry() { return registry_; }
+
+  /// Capability factory for a process (used by node builders that need the
+  /// signer before the simulation starts, e.g. to pre-sign their PD).
+  [[nodiscard]] crypto::Signer signer_for(ProcessId id) {
+    return crypto::Signer(id, &registry_);
+  }
+
+ private:
+  friend class Context;
+
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break => determinism
+    enum class Kind { kDelivery, kTimer } kind = Kind::kDelivery;
+    ProcessId from;
+    ProcessId to;
+    msg::Message message;
+    int timer_kind = 0;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Context entry points.
+  void do_send(ProcessId from, ProcessId to, msg::Message message);
+  void do_set_timer(ProcessId who, SimTime delay, int kind);
+  void do_decide(ProcessId who, Value value);
+  void do_report_membership(ProcessId who, const IdSet& members);
+
+  Options options_;
+  Rng rng_;
+  crypto::KeyRegistry registry_;
+  crypto::Verifier verifier_;
+  std::unique_ptr<DelayPolicy> policy_;
+  std::map<ProcessId, std::unique_ptr<Process>> processes_;
+  std::map<ProcessId, crypto::Signer> signers_;
+  std::map<ProcessId, Rng> process_rngs_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::uint64_t next_seq_ = 0;
+  SimTime now_ = 0;
+  bool started_ = false;
+  Trace trace_;
+  std::function<bool(const Trace&)> stop_;
+};
+
+}  // namespace bftcup::sim

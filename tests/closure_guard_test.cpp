@@ -1,0 +1,86 @@
+// Ablation of CupftNode's knowledge-closure guard against the
+// bridge-hiding fake-PD attack (DESIGN.md §4.6).
+#include <gtest/gtest.h>
+
+#include "cup/runner.hpp"
+#include "graph/figures.hpp"
+
+namespace bftcup::cup {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+Scenario attack_scenario(bool closure_guard) {
+  const auto inst = graph::figures::fig4a();
+  Scenario s;
+  s.graph = inst.graph;
+  s.faulty = inst.faulty;  // Byzantine 5
+  s.mode = Mode::kCupft;
+  s.byz = ByzBehavior::kFakePd;
+  s.fake_pds[p(5)] = IdSet{p(6), p(7), p(8)};  // hides the 5->4 bridge
+  s.cupft_known_closure = closure_guard;
+  s.sim.horizon = 300'000;
+  return s;
+}
+
+TEST(ClosureGuardTest, WithoutGuardTheAttackBreaksTheRun) {
+  const auto report = run_scenario(attack_scenario(false));
+  EXPECT_NE(report.verdict(), "SOLVED");
+}
+
+TEST(ClosureGuardTest, GuardPreservesAgreementUnderAttack) {
+  // With the guard, a B-side process cannot adopt the phantom {5,6,7,8}
+  // while its own PD's target 3 (or transitively learned A-side processes)
+  // are unheard-from; by the time they answered, the tie with {1,2,3,4} is
+  // visible. Safety holds; multiple seeds to derisk scheduling luck.
+  for (std::uint64_t seed : {1, 2, 3, 5, 8}) {
+    Scenario s = attack_scenario(true);
+    s.sim.seed = seed;
+    const auto report = run_scenario(s);
+    EXPECT_TRUE(report.agreement) << "seed=" << seed;
+    // No two different cores may both decide.
+    std::optional<Value> value;
+    for (const auto& [who, d] : report.decisions) {
+      if (value) {
+        EXPECT_EQ(*value, d.value);
+      }
+      value = d.value;
+    }
+  }
+}
+
+TEST(ClosureGuardTest, GuardCostsLivenessWithSilentOutsideByzantine) {
+  // The flip side: fig. 4a with Byzantine 5 *silent*. The A side never hears
+  // PD_5 and 5 is outside the core candidate {1,2,3,4} -> under the guard
+  // nobody ever adopts a core. This is the negative result: Algorithm 4
+  // cannot be repaired by a local rule that both defeats the attack and
+  // stays live.
+  const auto inst = graph::figures::fig4a();
+  Scenario s;
+  s.graph = inst.graph;
+  s.faulty = inst.faulty;
+  s.mode = Mode::kCupft;
+  s.byz = ByzBehavior::kSilent;
+  s.cupft_known_closure = true;
+  s.sim.horizon = 150'000;
+  const auto report = run_scenario(s);
+  EXPECT_EQ(report.verdict(), "NO-TERMINATION");
+  EXPECT_TRUE(report.decisions.empty());
+}
+
+TEST(ClosureGuardTest, GuardIsHarmlessWhenEveryoneSpeaks) {
+  // All-correct fig. 4a (threshold exists, nobody faulty): the guard delays
+  // adoption only until every PD arrived; consensus still solves.
+  const auto inst = graph::figures::fig4a();
+  Scenario s;
+  s.graph = inst.graph;
+  s.mode = Mode::kCupft;
+  s.cupft_known_closure = true;
+  const auto report = run_scenario(s);
+  EXPECT_EQ(report.verdict(), "SOLVED");
+}
+
+}  // namespace
+}  // namespace bftcup::cup

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "codec/decoder.hpp"
+#include "codec/encoder.hpp"
+
+namespace bftcup::codec {
+namespace {
+
+TEST(CodecTest, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.put_u8(0xab);
+  enc.put_u32(0xdeadbeef);
+  enc.put_u64(0x0123456789abcdefULL);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 0xab);
+  EXPECT_EQ(dec.get_u32(), 0xdeadbeefU);
+  EXPECT_EQ(dec.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(dec.at_end());
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(CodecTest, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,    1,    127,        128,
+                                  255,  300,  (1U << 14) - 1, (1U << 14),
+                                  1ULL << 32, ~0ULL};
+  Encoder enc;
+  for (auto v : values) enc.put_varint(v);
+  Decoder dec(enc.bytes());
+  for (auto v : values) EXPECT_EQ(dec.get_varint(), v);
+  EXPECT_TRUE(dec.at_end());
+}
+
+TEST(CodecTest, StringAndBytesRoundTrip) {
+  Encoder enc;
+  enc.put_string("hello");
+  enc.put_string("");
+  enc.put_bytes(Bytes{1, 2, 3});
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "hello");
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_EQ(dec.get_bytes(), (Bytes{1, 2, 3}));
+}
+
+TEST(CodecTest, IdSetRoundTrip) {
+  const IdSet ids = {ProcessId(1), ProcessId(1000), ProcessId(5)};
+  Encoder enc;
+  enc.put_id_set(ids);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_id_set(), ids);
+}
+
+TEST(CodecTest, EmptyIdSet) {
+  Encoder enc;
+  enc.put_id_set({});
+  Decoder dec(enc.bytes());
+  const auto back = dec.get_id_set();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(CodecTest, CanonicalEncodingIsOrderIndependent) {
+  // FlatSet sorts, so insertion order cannot change the bytes (signatures
+  // depend on this).
+  Encoder e1, e2;
+  e1.put_id_set(IdSet{ProcessId(3), ProcessId(1), ProcessId(2)});
+  e2.put_id_set(IdSet{ProcessId(2), ProcessId(3), ProcessId(1)});
+  EXPECT_EQ(e1.bytes(), e2.bytes());
+}
+
+TEST(DecoderTest, TruncatedInputFails) {
+  Encoder enc;
+  enc.put_u64(42);
+  const Bytes full = enc.bytes();
+  const Bytes truncated(full.begin(), full.begin() + 4);
+  Decoder dec(truncated);
+  EXPECT_FALSE(dec.get_u64().has_value());
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(DecoderTest, FailureIsSticky) {
+  Decoder dec(Bytes{});
+  EXPECT_FALSE(dec.get_u8().has_value());
+  EXPECT_FALSE(dec.get_u32().has_value());
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(DecoderTest, MalformedVarintOverflowRejected) {
+  // 10 bytes of continuation with high garbage overflows 64 bits.
+  const Bytes bad(11, 0xff);
+  Decoder dec(bad);
+  EXPECT_FALSE(dec.get_varint().has_value());
+}
+
+TEST(DecoderTest, HugeIdSetCountRejected) {
+  Encoder enc;
+  enc.put_varint(1'000'000);  // count way beyond remaining bytes
+  enc.put_varint(1);
+  Decoder dec(enc.bytes());
+  EXPECT_FALSE(dec.get_id_set().has_value());
+}
+
+TEST(DecoderTest, BytesLengthBeyondBufferRejected) {
+  Encoder enc;
+  enc.put_varint(100);  // claims 100 bytes, provides none
+  Decoder dec(enc.bytes());
+  EXPECT_FALSE(dec.get_bytes().has_value());
+}
+
+}  // namespace
+}  // namespace bftcup::codec

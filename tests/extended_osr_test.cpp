@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "graph/extended_osr.hpp"
+#include "graph/figures.hpp"
+
+namespace bftcup::graph {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+Digraph complete(std::initializer_list<std::uint64_t> ids) {
+  Digraph g;
+  for (auto a : ids) {
+    for (auto b : ids) {
+      if (a != b) g.add_edge(p(a), p(b));
+    }
+  }
+  return g;
+}
+
+std::optional<SinkInfo> find_sink(const std::vector<SinkInfo>& sinks,
+                                  const IdSet& members) {
+  for (const SinkInfo& s : sinks) {
+    if (s.members == members) return s;
+  }
+  return std::nullopt;
+}
+
+TEST(AllSinksTest, CompleteTriangle) {
+  const auto sinks = all_sinks(complete({1, 2, 3}));
+  ASSERT_EQ(sinks.size(), 1U);
+  EXPECT_EQ(sinks[0].members, (IdSet{p(1), p(2), p(3)}));
+  EXPECT_EQ(sinks[0].f, 1U);  // g <= min(κ-1, (|S1|-1)/2) = min(1, 1)
+  EXPECT_EQ(sinks[0].k(), 2U);
+}
+
+TEST(AllSinksTest, CompleteK5HasF2) {
+  const auto sinks = all_sinks(complete({1, 2, 3, 4, 5}));
+  const auto k5 = find_sink(sinks, {p(1), p(2), p(3), p(4), p(5)});
+  ASSERT_TRUE(k5.has_value());
+  EXPECT_EQ(k5->f, 2U);
+  EXPECT_EQ(k5->k(), 3U);
+}
+
+TEST(AllSinksTest, Fig2cHasTwoTiedSinks) {
+  // Observation 1: both halves of system AB can self-declare.
+  const auto inst = figures::fig2c();
+  const auto sinks = all_sinks(inst.graph);
+  const auto a = find_sink(sinks, {p(1), p(2), p(3), p(4)});
+  const auto b = find_sink(sinks, {p(5), p(6), p(7), p(8)});
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->k(), b->k());  // the fatal tie
+}
+
+TEST(AllSinksTest, Fig4aBSideCannotDeclare) {
+  // The extra links 6->3 and 7->2 keep {5,6,7,8} out of the sink family.
+  const auto inst = figures::fig4a();
+  const auto sinks = all_sinks(inst.graph);
+  EXPECT_FALSE(
+      find_sink(sinks, {p(5), p(6), p(7), p(8)}).has_value());
+  const auto a = find_sink(sinks, {p(1), p(2), p(3), p(4)});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->k(), 2U);
+}
+
+TEST(ExtendedOsrTest, Fig2cViolatesC1) {
+  const auto inst = figures::fig2c();
+  const ExtendedOsrReport r = check_extended_k_osr(inst.graph, 1);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_NE(r.reason.find("tie"), std::string::npos);
+}
+
+TEST(ExtendedOsrTest, CompleteTriangleSatisfies) {
+  const ExtendedOsrReport r = check_extended_k_osr(complete({1, 2, 3}), 2);
+  EXPECT_TRUE(r.satisfied) << r.reason;
+  EXPECT_EQ(r.core, (IdSet{p(1), p(2), p(3)}));
+  EXPECT_EQ(r.core_k, 2U);
+}
+
+TEST(BftCupftRequirementsTest, Fig4aSatisfies) {
+  const auto inst = figures::fig4a();
+  const BftCupftReport r =
+      check_bft_cupft_requirements(inst.graph, inst.faulty, inst.f);
+  EXPECT_TRUE(r.satisfied) << r.reason;
+  EXPECT_EQ(r.safe_core, inst.expected_core);
+  EXPECT_EQ(r.core_k, 2U);
+}
+
+TEST(BftCupftRequirementsTest, Fig4bSatisfies) {
+  const auto inst = figures::fig4b();
+  const BftCupftReport r =
+      check_bft_cupft_requirements(inst.graph, inst.faulty, inst.f);
+  EXPECT_TRUE(r.satisfied) << r.reason;
+  EXPECT_EQ(r.safe_core, inst.expected_core);
+}
+
+TEST(BftCupftRequirementsTest, Fig3bSatisfies) {
+  // fig3b's safe graph is a K5 — a valid (if degenerate) extended 3-OSR.
+  const auto inst = figures::fig3b();
+  const BftCupftReport r =
+      check_bft_cupft_requirements(inst.graph, inst.faulty, inst.f);
+  EXPECT_TRUE(r.satisfied) << r.reason;
+  EXPECT_EQ(r.safe_core, inst.expected_core);
+}
+
+TEST(BftCupftRequirementsTest, Fig3aFails) {
+  // fig3a is a fine BFT-CUP graph but NOT extended: {2,3,4,6} absorb {5,7}
+  // at k = 2, tying with the true sink {5,7,8}.
+  const auto inst = figures::fig3a();
+  const BftCupftReport r =
+      check_bft_cupft_requirements(inst.graph, inst.faulty, inst.f);
+  EXPECT_FALSE(r.satisfied);
+}
+
+TEST(BftCupftRequirementsTest, Fig2cFails) {
+  const auto inst = figures::fig2c();
+  const BftCupftReport r =
+      check_bft_cupft_requirements(inst.graph, inst.faulty, inst.f);
+  EXPECT_FALSE(r.satisfied);
+}
+
+TEST(BftCupftRequirementsTest, TooManyFaulty) {
+  const auto inst = figures::fig4a();
+  IdSet faulty = inst.faulty;
+  faulty.insert(p(8));
+  EXPECT_FALSE(
+      check_bft_cupft_requirements(inst.graph, faulty, inst.f).satisfied);
+}
+
+}  // namespace
+}  // namespace bftcup::graph

@@ -1,0 +1,162 @@
+// Pins every property the paper's text states about its figures.
+#include <gtest/gtest.h>
+
+#include "graph/condensation.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/figures.hpp"
+#include "graph/osr.hpp"
+
+namespace bftcup::graph::figures {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+TEST(Fig1aTest, Pd1IsAsStatedInThePaper) {
+  const auto inst = fig1a();
+  EXPECT_EQ(inst.graph.out_neighbors(p(1)), (IdSet{p(2), p(3), p(4)}));
+}
+
+TEST(Fig1aTest, RemovingByzantine4SplitsTheGraph) {
+  const auto inst = fig1a();
+  const IdSet correct = inst.graph.vertices().set_difference(inst.faulty);
+  const Digraph safe = inst.graph.induced(correct);
+  EXPECT_FALSE(safe.weakly_connected());
+}
+
+TEST(Fig1aTest, CannotReachOtherClusterWithout4) {
+  const auto inst = fig1a();
+  const Digraph safe =
+      inst.graph.induced(inst.graph.vertices().set_difference(inst.faulty));
+  // {1,2,3} cannot acquire knowledge about {5,...,8} (paper caption).
+  const IdSet reach = safe.reachable_from(p(1));
+  EXPECT_FALSE(reach.contains(p(5)));
+  EXPECT_FALSE(reach.contains(p(8)));
+}
+
+TEST(Fig1bTest, Pd1IsAsStatedInThePaper) {
+  const auto inst = fig1b();
+  EXPECT_EQ(inst.graph.out_neighbors(p(1)), (IdSet{p(2), p(3), p(4)}));
+}
+
+TEST(Fig1bTest, SafeSinkIs123) {
+  const auto inst = fig1b();
+  const Digraph safe =
+      inst.graph.induced(inst.graph.vertices().set_difference(inst.faulty));
+  EXPECT_EQ(unique_sink_members(safe), (IdSet{p(1), p(2), p(3)}));
+}
+
+TEST(Fig1bTest, ByzantineIsASinkMemberOfTheFullGraph) {
+  const auto inst = fig1b();
+  EXPECT_TRUE(unique_sink_members(inst.graph).contains(p(4)));
+}
+
+TEST(Fig2Test, SystemsAAndBAre2Osr) {
+  for (const auto& inst : {fig2a(), fig2b()}) {
+    const Digraph safe =
+        inst.graph.induced(inst.graph.vertices().set_difference(inst.faulty));
+    EXPECT_TRUE(check_k_osr(safe, 2).satisfied);
+  }
+}
+
+TEST(Fig2Test, SystemAbIs1OsrAllCorrect) {
+  const auto inst = fig2c();
+  EXPECT_TRUE(inst.faulty.empty());
+  EXPECT_TRUE(check_k_osr(inst.graph, 1).satisfied);
+  EXPECT_FALSE(check_k_osr(inst.graph, 2).satisfied);
+}
+
+TEST(Fig2Test, AbContainsBothSystemsEdges) {
+  const auto ab = fig2c();
+  const auto a = fig2a();
+  for (ProcessId v : a.graph.vertices()) {
+    for (ProcessId w : a.graph.out_neighbors(v)) {
+      EXPECT_TRUE(ab.graph.has_edge(v, w));
+    }
+  }
+  EXPECT_TRUE(ab.graph.has_edge(p(4), p(5)));
+  EXPECT_TRUE(ab.graph.has_edge(p(5), p(4)));
+}
+
+TEST(Fig3Test, SharedProcessesHaveIdenticalPds) {
+  // The indistinguishability argument requires {1,2,3,4,6} to look the same
+  // in both systems.
+  const auto a = fig3a();
+  const auto b = fig3b();
+  for (std::uint64_t id : {1, 2, 3, 4, 6}) {
+    EXPECT_EQ(a.graph.out_neighbors(p(id)), b.graph.out_neighbors(p(id)))
+        << "PD_" << id;
+  }
+}
+
+TEST(Fig3Test, Fig3aSinkIsTriangle578) {
+  const auto inst = fig3a();
+  const Digraph safe =
+      inst.graph.induced(inst.graph.vertices().set_difference(inst.faulty));
+  EXPECT_EQ(unique_sink_members(safe), (IdSet{p(5), p(7), p(8)}));
+  EXPECT_EQ(strong_connectivity(safe.induced({p(5), p(7), p(8)})), 2U);
+}
+
+TEST(Fig3Test, Fig3bSinkIsK5) {
+  const auto inst = fig3b();
+  const Digraph safe =
+      inst.graph.induced(inst.graph.vertices().set_difference(inst.faulty));
+  EXPECT_EQ(unique_sink_members(safe), inst.expected_sink);
+  EXPECT_TRUE(check_k_osr(safe, 3).satisfied);  // paper: "a 3-OSR PD"
+}
+
+TEST(Fig3Test, NobodyInS1Knows8InFig3a) {
+  const auto inst = fig3a();
+  for (std::uint64_t id : {1, 2, 3, 4, 6}) {
+    EXPECT_FALSE(inst.graph.out_neighbors(p(id)).contains(p(8)));
+  }
+}
+
+TEST(Fig4Test, Fig4aHasTheTwoExtraLinks) {
+  const auto inst = fig4a();
+  EXPECT_TRUE(inst.graph.has_edge(p(6), p(3)));
+  EXPECT_TRUE(inst.graph.has_edge(p(7), p(2)));
+}
+
+TEST(Fig4Test, Fig4aFullGraphSinkDiffersFromCore) {
+  const auto inst = fig4a();
+  // Full graph is one big SCC (sink = everything) while the core is only
+  // {1,2,3,4} — the caption's "sink differs from core".
+  EXPECT_EQ(unique_sink_members(inst.graph), inst.graph.vertices());
+  EXPECT_NE(unique_sink_members(inst.graph), inst.expected_core);
+}
+
+TEST(Fig4Test, Fig4bSinkEqualsCore) {
+  const auto inst = fig4b();
+  const Digraph safe =
+      inst.graph.induced(inst.graph.vertices().set_difference(inst.faulty));
+  EXPECT_EQ(unique_sink_members(safe), inst.expected_core);
+}
+
+TEST(Fig4Test, Fig4bPeripheryIsASimpleCycle) {
+  const auto inst = fig4b();
+  const IdSet periphery = {p(1), p(2), p(3), p(4), p(5), p(6), p(7)};
+  const Digraph ring = inst.graph.induced(periphery);
+  EXPECT_EQ(strong_connectivity(ring), 1U);
+}
+
+TEST(Fig4Test, Fig4bEveryPeripheryProcessKnowsThreeCoreMembers) {
+  const auto inst = fig4b();
+  const IdSet core_full = {p(8), p(9), p(10), p(11), p(12)};
+  for (std::uint64_t id = 1; id <= 7; ++id) {
+    const IdSet targets =
+        inst.graph.out_neighbors(p(id)).set_intersection(core_full);
+    EXPECT_EQ(targets.size(), 3U) << "process " << id;
+  }
+}
+
+TEST(AllFiguresTest, FaultyWithinThreshold) {
+  for (const auto& inst : {fig1a(), fig1b(), fig2a(), fig2b(), fig2c(),
+                           fig3a(), fig3b(), fig4a(), fig4b()}) {
+    EXPECT_LE(inst.faulty.size(), inst.f);
+  }
+}
+
+}  // namespace
+}  // namespace bftcup::graph::figures

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "graph/extended_osr.hpp"
+#include "graph/generators.hpp"
+#include "graph/osr.hpp"
+
+namespace bftcup::graph::generators {
+namespace {
+
+class RandomBftCupTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomBftCupTest, SatisfiesTheoremOneRequirements) {
+  Rng rng(GetParam());
+  for (std::size_t f = 1; f <= 2; ++f) {
+    BftCupParams params;
+    params.f = f;
+    params.sink_size = 2 * f + 1 + f;  // room for f Byzantine inside
+    params.non_sink = 4;
+    params.byzantine_in_sink = f;
+    const GeneratedSystem sys = random_bft_cup(params, rng);
+    const BftCupReport r =
+        check_bft_cup_requirements(sys.graph, sys.faulty, sys.f);
+    EXPECT_TRUE(r.satisfied) << "f=" << f << ": " << r.reason;
+    EXPECT_EQ(r.safe_sink, sys.sink.set_difference(sys.faulty));
+    EXPECT_LE(sys.faulty.size(), f);
+  }
+}
+
+TEST_P(RandomBftCupTest, ByzantinePlacementRespectsParams) {
+  Rng rng(GetParam() ^ 0x55);
+  BftCupParams params;
+  params.f = 2;
+  params.sink_size = 7;
+  params.non_sink = 5;
+  params.byzantine_in_sink = 1;
+  const GeneratedSystem sys = random_bft_cup(params, rng);
+  const IdSet byz_in_sink = sys.faulty.set_intersection(sys.sink);
+  EXPECT_EQ(byz_in_sink.size(), 1U);
+  EXPECT_EQ(sys.faulty.size(), 2U);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBftCupTest,
+                         ::testing::Values(1, 2, 3, 7, 11, 13, 42, 99));
+
+class RandomCupftTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCupftTest, SatisfiesBftCupftRequirements) {
+  Rng rng(GetParam());
+  CupftParams params;
+  params.f = 1;
+  params.core_size = 5;
+  params.periphery = 5;
+  params.byzantine_in_core = 1;
+  const GeneratedSystem sys = random_cupft(params, rng);
+  const BftCupftReport r =
+      check_bft_cupft_requirements(sys.graph, sys.faulty, sys.f);
+  EXPECT_TRUE(r.satisfied) << r.reason;
+  EXPECT_EQ(r.safe_core, sys.sink.set_difference(sys.faulty));
+}
+
+TEST_P(RandomCupftTest, PeripheryCannotSelfDeclare) {
+  Rng rng(GetParam() ^ 0x77);
+  CupftParams params;
+  params.f = 1;
+  params.core_size = 5;
+  params.periphery = 6;
+  params.byzantine_in_core = 0;
+  const GeneratedSystem sys = random_cupft(params, rng);
+  for (const SinkInfo& s : all_sinks(sys.graph)) {
+    if (s.members == sys.sink || sys.sink.is_subset_of(s.members)) continue;
+    // Anything that is not (a superset of) the core must be weaker.
+    EXPECT_LT(s.k(), 2U);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCupftTest,
+                         ::testing::Values(1, 2, 3, 7, 11, 13, 42, 99));
+
+TEST(SplitBrainTest, CombinedGraphIsWeaklyConnectedAndBridged) {
+  Rng rng(5);
+  BftCupParams side;
+  side.f = 1;
+  side.sink_size = 4;
+  side.non_sink = 0;
+  side.byzantine_in_sink = 1;
+  const GeneratedSystem sys = random_split_brain(side, rng);
+  EXPECT_TRUE(sys.graph.weakly_connected());
+  EXPECT_EQ(sys.graph.vertex_count(), 8U);
+  // Exactly one pair of cross edges (a <-> b with b >= 1000).
+  std::size_t cross = 0;
+  for (ProcessId v : sys.graph.vertices()) {
+    for (ProcessId w : sys.graph.out_neighbors(v)) {
+      if ((v.raw() < 1000) != (w.raw() < 1000)) ++cross;
+    }
+  }
+  EXPECT_EQ(cross, 2U);
+}
+
+TEST(SplitBrainTest, BothHalvesTieAsSinks) {
+  Rng rng(9);
+  BftCupParams side;
+  side.f = 1;
+  side.sink_size = 4;
+  side.non_sink = 0;
+  side.byzantine_in_sink = 1;
+  const GeneratedSystem sys = random_split_brain(side, rng);
+  // The fatal Observation-1 structure: the combined graph cannot satisfy
+  // property C1.
+  const ExtendedOsrReport r = check_extended_k_osr(sys.graph, 1);
+  EXPECT_FALSE(r.satisfied);
+}
+
+}  // namespace
+}  // namespace bftcup::graph::generators

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "graph/condensation.hpp"
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+
+namespace bftcup::graph {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+Digraph cycle(std::initializer_list<std::uint64_t> ids) {
+  Digraph g;
+  std::vector<std::uint64_t> v(ids);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    g.add_edge(p(v[i]), p(v[(i + 1) % v.size()]));
+  }
+  return g;
+}
+
+TEST(DigraphTest, AddVertexAndEdge) {
+  Digraph g;
+  g.add_vertex(p(1));
+  EXPECT_TRUE(g.has_vertex(p(1)));
+  EXPECT_FALSE(g.has_vertex(p(2)));
+  EXPECT_TRUE(g.add_edge(p(1), p(2)));
+  EXPECT_FALSE(g.add_edge(p(1), p(2)));  // duplicate
+  EXPECT_TRUE(g.has_edge(p(1), p(2)));
+  EXPECT_FALSE(g.has_edge(p(2), p(1)));
+  EXPECT_EQ(g.vertex_count(), 2U);
+  EXPECT_EQ(g.edge_count(), 1U);
+}
+
+TEST(DigraphTest, SelfLoopsIgnored) {
+  Digraph g;
+  EXPECT_FALSE(g.add_edge(p(1), p(1)));
+  EXPECT_EQ(g.edge_count(), 0U);
+}
+
+TEST(DigraphTest, Neighbors) {
+  Digraph g;
+  g.add_edge(p(1), p(2));
+  g.add_edge(p(1), p(3));
+  g.add_edge(p(4), p(1));
+  EXPECT_EQ(g.out_neighbors(p(1)), (IdSet{p(2), p(3)}));
+  EXPECT_EQ(g.in_neighbors(p(1)), (IdSet{p(4)}));
+  EXPECT_EQ(g.out_neighbors(p(99)), IdSet{});
+}
+
+TEST(DigraphTest, InducedSubgraph) {
+  Digraph g;
+  g.add_edge(p(1), p(2));
+  g.add_edge(p(2), p(3));
+  g.add_edge(p(3), p(1));
+  const Digraph sub = g.induced({p(1), p(2)});
+  EXPECT_EQ(sub.vertex_count(), 2U);
+  EXPECT_TRUE(sub.has_edge(p(1), p(2)));
+  EXPECT_FALSE(sub.has_edge(p(2), p(3)));
+  EXPECT_EQ(sub.edge_count(), 1U);
+}
+
+TEST(DigraphTest, InducedIgnoresUnknownVertices) {
+  Digraph g;
+  g.add_edge(p(1), p(2));
+  const Digraph sub = g.induced({p(1), p(42)});
+  EXPECT_EQ(sub.vertex_count(), 1U);
+}
+
+TEST(DigraphTest, UndirectedCounterpart) {
+  Digraph g;
+  g.add_edge(p(1), p(2));
+  const Digraph u = g.undirected_counterpart();
+  EXPECT_TRUE(u.has_edge(p(1), p(2)));
+  EXPECT_TRUE(u.has_edge(p(2), p(1)));
+}
+
+TEST(DigraphTest, WeakConnectivity) {
+  Digraph g;
+  g.add_edge(p(1), p(2));
+  g.add_vertex(p(3));
+  EXPECT_FALSE(g.weakly_connected());
+  g.add_edge(p(3), p(2));
+  EXPECT_TRUE(g.weakly_connected());
+  EXPECT_TRUE(Digraph{}.weakly_connected());  // vacuous
+}
+
+TEST(DigraphTest, Reachability) {
+  Digraph g;
+  g.add_edge(p(1), p(2));
+  g.add_edge(p(2), p(3));
+  g.add_edge(p(4), p(1));
+  EXPECT_EQ(g.reachable_from(p(1)), (IdSet{p(1), p(2), p(3)}));
+  EXPECT_EQ(g.reachable_from(p(4)), (IdSet{p(1), p(2), p(3), p(4)}));
+  EXPECT_EQ(g.reachable_from(p(99)), IdSet{});
+}
+
+TEST(DigraphTest, EqualityIgnoresInsertionOrder) {
+  Digraph a, b;
+  a.add_edge(p(1), p(2));
+  a.add_edge(p(2), p(3));
+  b.add_edge(p(2), p(3));
+  b.add_edge(p(1), p(2));
+  EXPECT_EQ(a, b);
+  b.add_edge(p(3), p(1));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SccTest, SingleCycleIsOneComponent) {
+  const Digraph g = cycle({1, 2, 3, 4});
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 1U);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(SccTest, ChainIsAllSingletons) {
+  Digraph g;
+  g.add_edge(p(1), p(2));
+  g.add_edge(p(2), p(3));
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 3U);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(SccTest, TwoComponents) {
+  Digraph g = cycle({1, 2, 3});
+  g.add_edge(p(3), p(4));
+  g.add_edge(p(4), p(5));
+  g.add_edge(p(5), p(4));
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 2U);
+}
+
+TEST(SccTest, EmptyGraph) {
+  const SccResult scc = strongly_connected_components(Digraph{});
+  EXPECT_EQ(scc.count, 0U);
+  EXPECT_FALSE(is_strongly_connected(Digraph{}));
+}
+
+TEST(SccTest, LargeCycleIterativeDfsNoOverflow) {
+  // 50k-node cycle would blow a recursive Tarjan's stack.
+  Digraph g;
+  const std::size_t n = 50'000;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(p(i), p((i + 1) % n));
+  }
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(CondensationTest, UniqueSink) {
+  Digraph g = cycle({1, 2, 3});  // sink
+  g.add_edge(p(4), p(1));
+  g.add_edge(p(5), p(4));
+  const Condensation c = condense(g);
+  ASSERT_EQ(c.sink_components.size(), 1U);
+  EXPECT_EQ(unique_sink_members(g), (IdSet{p(1), p(2), p(3)}));
+}
+
+TEST(CondensationTest, TwoSinks) {
+  Digraph g;
+  g.add_edge(p(1), p(2));  // 2 is a sink
+  g.add_edge(p(1), p(3));  // 3 is a sink
+  const Condensation c = condense(g);
+  EXPECT_EQ(c.sink_components.size(), 2U);
+  EXPECT_EQ(unique_sink_members(g), IdSet{});
+  EXPECT_EQ(sink_members(g), (IdSet{p(2), p(3)}));
+}
+
+TEST(CondensationTest, DagEdgesDeduplicated) {
+  Digraph g = cycle({1, 2});
+  g.add_edge(p(1), p(3));
+  g.add_edge(p(2), p(3));
+  const Condensation c = condense(g);
+  // Component of {1,2} has exactly one DAG edge to component of {3}.
+  const std::size_t c12 = c.sccs.component[*g.index_of(p(1))];
+  EXPECT_EQ(c.dag_out[c12].size(), 1U);
+}
+
+}  // namespace
+}  // namespace bftcup::graph

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "graph/figures.hpp"
+#include "protocol/knowledge_view.hpp"
+
+namespace bftcup::protocol {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+TEST(KnowledgeViewTest, InitialStateMatchesAlgorithmOne) {
+  KnowledgeView view(p(1), IdSet{p(2), p(3)});
+  EXPECT_EQ(view.known(), (IdSet{p(1), p(2), p(3)}));
+  EXPECT_EQ(view.received(), (IdSet{p(1)}));
+  ASSERT_NE(view.pd_of(p(1)), nullptr);
+  EXPECT_EQ(*view.pd_of(p(1)), (IdSet{p(2), p(3)}));
+  EXPECT_EQ(view.pd_of(p(2)), nullptr);
+}
+
+TEST(KnowledgeViewTest, AddPdExpandsKnown) {
+  KnowledgeView view(p(1), IdSet{p(2)});
+  EXPECT_TRUE(view.add_pd(p(2), IdSet{p(3), p(4)}));
+  EXPECT_TRUE(view.known().contains(p(3)));
+  EXPECT_TRUE(view.known().contains(p(4)));
+  EXPECT_TRUE(view.received().contains(p(2)));
+}
+
+TEST(KnowledgeViewTest, FirstPdWinsAgainstEquivocation) {
+  KnowledgeView view(p(1), IdSet{});
+  EXPECT_TRUE(view.add_pd(p(2), IdSet{p(3)}));
+  // A second, different "PD_2" must not replace the first.
+  view.add_pd(p(2), IdSet{p(4)});
+  EXPECT_EQ(*view.pd_of(p(2)), (IdSet{p(3)}));
+}
+
+TEST(KnowledgeViewTest, AddPdIdempotent) {
+  KnowledgeView view(p(1), IdSet{});
+  EXPECT_TRUE(view.add_pd(p(2), IdSet{p(3)}));
+  EXPECT_FALSE(view.add_pd(p(2), IdSet{p(3)}));
+}
+
+TEST(KnowledgeViewTest, KnowledgeGraphOnlyUsesReceivedPds) {
+  KnowledgeView view(p(1), IdSet{p(2)});
+  view.add_known(p(5));
+  const graph::Digraph k = view.knowledge_graph();
+  EXPECT_TRUE(k.has_edge(p(1), p(2)));
+  EXPECT_TRUE(k.has_vertex(p(5)));
+  EXPECT_TRUE(k.out_neighbors(p(2)).empty());  // PD_2 not received
+}
+
+TEST(KnowledgeViewTest, OutReachAndInDegreeCounts) {
+  KnowledgeView view(p(1), IdSet{p(2), p(3)});
+  view.add_pd(p(2), IdSet{p(3)});
+  view.add_pd(p(3), IdSet{p(4)});
+  // Processes of {1,2,3} with an out-edge into {p4}: only 3.
+  EXPECT_EQ(view.out_reach_count(IdSet{p(1), p(2), p(3)}, IdSet{p(4)}), 1U);
+  // In-degree of 3 from {1,2}: both point to it.
+  EXPECT_EQ(view.in_degree_from(IdSet{p(1), p(2)}, p(3)), 2U);
+  // Unreceived members contribute nothing.
+  EXPECT_EQ(view.in_degree_from(IdSet{p(4)}, p(1)), 0U);
+}
+
+TEST(KnowledgeViewTest, OmniscientMatchesGraph) {
+  const auto inst = graph::figures::fig1b();
+  const KnowledgeView view = KnowledgeView::omniscient(inst.graph);
+  EXPECT_EQ(view.known(), inst.graph.vertices());
+  EXPECT_EQ(view.received(), inst.graph.vertices());
+  for (ProcessId id : inst.graph.vertices()) {
+    ASSERT_NE(view.pd_of(id), nullptr);
+    EXPECT_EQ(*view.pd_of(id), inst.graph.out_neighbors(id));
+  }
+  // Knowledge graph reconstructs the original.
+  EXPECT_EQ(view.knowledge_graph(), inst.graph);
+}
+
+}  // namespace
+}  // namespace bftcup::protocol

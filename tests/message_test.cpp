@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "msg/message.hpp"
+
+namespace bftcup::msg {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+TEST(MessageTest, TypeNamesCoverAllVariants) {
+  for (auto t : {MsgType::kGetPds, MsgType::kSetPds, MsgType::kGetDecidedVal,
+                 MsgType::kDecidedVal, MsgType::kPbftPrePrepare,
+                 MsgType::kPbftPrepare, MsgType::kPbftCommit,
+                 MsgType::kPbftViewChange, MsgType::kPbftNewView,
+                 MsgType::kPbftDecide, MsgType::kRrbForward}) {
+    EXPECT_STRNE(to_string(t), "?");
+  }
+}
+
+TEST(MessageTest, SignedPdPayloadIsCanonical) {
+  const Bytes a = SignedPd::payload(p(1), IdSet{p(2), p(3)});
+  const Bytes b = SignedPd::payload(p(1), IdSet{p(3), p(2)});
+  EXPECT_EQ(a, b);  // FlatSet ordering makes the encoding order-free
+}
+
+TEST(MessageTest, SignedPdPayloadBindsOwnerAndContents) {
+  const Bytes base = SignedPd::payload(p(1), IdSet{p(2)});
+  EXPECT_NE(base, SignedPd::payload(p(2), IdSet{p(2)}));
+  EXPECT_NE(base, SignedPd::payload(p(1), IdSet{p(3)}));
+}
+
+TEST(MessageTest, PbftPayloadDomainSeparatedFromPd) {
+  // A signature over a PD must never validate as a PBFT phase message.
+  const Bytes pd = SignedPd::payload(p(1), IdSet{});
+  const Bytes pbft = pbft_payload(MsgType::kPbftPrepare, 0, 0);
+  EXPECT_NE(pd, pbft);
+}
+
+TEST(MessageTest, PbftPayloadBindsPhaseViewValue) {
+  const Bytes base = pbft_payload(MsgType::kPbftPrepare, 3, 42);
+  EXPECT_NE(base, pbft_payload(MsgType::kPbftCommit, 3, 42));
+  EXPECT_NE(base, pbft_payload(MsgType::kPbftPrepare, 4, 42));
+  EXPECT_NE(base, pbft_payload(MsgType::kPbftPrepare, 3, 43));
+}
+
+TEST(MessageTest, EncodedSizeGrowsWithContent) {
+  Message small;
+  small.type = MsgType::kGetPds;
+  Message big;
+  big.type = MsgType::kSetPds;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    SignedPd spd;
+    spd.owner = p(i);
+    spd.pd = IdSet{p(i + 1), p(i + 2), p(i + 3)};
+    big.pds.push_back(spd);
+  }
+  EXPECT_GT(big.encoded_size(), small.encoded_size());
+}
+
+TEST(MessageTest, EncodedSizeCountsCertificates) {
+  Message m;
+  m.type = MsgType::kPbftViewChange;
+  const std::size_t bare = m.encoded_size();
+  QuorumCert cert;
+  cert.view = 1;
+  cert.value = 9;
+  cert.shares.resize(4);
+  m.cert = cert;
+  EXPECT_GT(m.encoded_size(), bare + 4 * 64);  // four 64-byte signatures
+}
+
+TEST(MessageTest, EncodedSizeCountsRrbPath) {
+  Message m;
+  m.type = MsgType::kRrbForward;
+  m.origin = p(1);
+  m.origin_pd = IdSet{p(2)};
+  const std::size_t bare = m.encoded_size();
+  m.path = {p(3), p(4), p(5)};
+  EXPECT_GT(m.encoded_size(), bare);
+}
+
+}  // namespace
+}  // namespace bftcup::msg

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "graph/figures.hpp"
+#include "graph/osr.hpp"
+
+namespace bftcup::graph {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+Digraph complete(std::initializer_list<std::uint64_t> ids) {
+  Digraph g;
+  for (auto a : ids) {
+    for (auto b : ids) {
+      if (a != b) g.add_edge(p(a), p(b));
+    }
+  }
+  return g;
+}
+
+TEST(OsrTest, CompleteTriangleIs2Osr) {
+  const Digraph g = complete({1, 2, 3});
+  const OsrReport r = check_k_osr(g, 2);
+  EXPECT_TRUE(r.satisfied) << r.reason;
+  EXPECT_EQ(r.sink, (IdSet{p(1), p(2), p(3)}));
+}
+
+TEST(OsrTest, DisconnectedFails) {
+  Digraph g = complete({1, 2, 3});
+  g.add_vertex(p(9));
+  const OsrReport r = check_k_osr(g, 1);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_NE(r.reason.find("not connected"), std::string::npos);
+}
+
+TEST(OsrTest, TwoSinksFail) {
+  Digraph g = complete({1, 2});
+  Digraph h = complete({3, 4});
+  for (ProcessId v : h.vertices()) {
+    for (ProcessId w : h.out_neighbors(v)) g.add_edge(v, w);
+  }
+  g.add_edge(p(5), p(1));
+  g.add_edge(p(5), p(3));  // 5 connects both, but two sink SCCs remain
+  const OsrReport r = check_k_osr(g, 1);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_NE(r.reason.find("sinks"), std::string::npos);
+}
+
+TEST(OsrTest, SingletonSinkRejectedForPositiveK) {
+  Digraph g;
+  g.add_edge(p(2), p(1));
+  g.add_edge(p(3), p(1));
+  g.add_edge(p(3), p(2));
+  EXPECT_FALSE(check_k_osr(g, 1).satisfied);
+}
+
+TEST(OsrTest, NonSinkNeedsKDisjointPathsIntoSink) {
+  Digraph g = complete({1, 2, 3});
+  g.add_edge(p(9), p(1));  // only one path start
+  EXPECT_TRUE(check_k_osr(g, 1).satisfied);
+  EXPECT_FALSE(check_k_osr(g, 2).satisfied);
+  g.add_edge(p(9), p(2));
+  EXPECT_TRUE(check_k_osr(g, 2).satisfied);
+}
+
+TEST(OsrTest, MaxOsrKOfCompleteGraphs) {
+  EXPECT_EQ(max_osr_k(complete({1, 2, 3})), 2U);
+  EXPECT_EQ(max_osr_k(complete({1, 2, 3, 4})), 3U);
+}
+
+TEST(OsrTest, MaxOsrKLimitedByNonSinkFanIn) {
+  Digraph g = complete({1, 2, 3, 4});
+  g.add_edge(p(9), p(1));
+  g.add_edge(p(9), p(2));
+  EXPECT_EQ(max_osr_k(g), 2U);  // sink κ=3 but 9 has only 2 entry points
+}
+
+TEST(OsrTest, MaxOsrKZeroCases) {
+  EXPECT_EQ(max_osr_k(Digraph{}), 0U);
+  Digraph two_sinks;
+  two_sinks.add_edge(p(1), p(2));
+  two_sinks.add_edge(p(1), p(3));
+  EXPECT_EQ(max_osr_k(two_sinks), 0U);
+}
+
+TEST(BftCupRequirementsTest, Fig1bSatisfies) {
+  const auto inst = figures::fig1b();
+  const BftCupReport r =
+      check_bft_cup_requirements(inst.graph, inst.faulty, inst.f);
+  EXPECT_TRUE(r.satisfied) << r.reason;
+  EXPECT_EQ(r.safe_sink, inst.expected_sink);
+}
+
+TEST(BftCupRequirementsTest, Fig1aFails) {
+  const auto inst = figures::fig1a();
+  const BftCupReport r =
+      check_bft_cup_requirements(inst.graph, inst.faulty, inst.f);
+  EXPECT_FALSE(r.satisfied);
+}
+
+TEST(BftCupRequirementsTest, TooManyFaultyRejected) {
+  const auto inst = figures::fig1b();
+  IdSet faulty = inst.faulty;
+  faulty.insert(p(5));
+  const BftCupReport r = check_bft_cup_requirements(inst.graph, faulty, 1);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_NE(r.reason.find("more than f"), std::string::npos);
+}
+
+TEST(BftCupRequirementsTest, SinkSizeBelowTwoFPlusOneRejected) {
+  // Complete triangle with f = 1 and one faulty *sink* member: safe sink has
+  // only 2 < 2f+1 processes.
+  const Digraph g = complete({1, 2, 3});
+  const BftCupReport r = check_bft_cup_requirements(g, {p(3)}, 1);
+  EXPECT_FALSE(r.satisfied);
+}
+
+TEST(BftCupRequirementsTest, Fig3aSatisfiesWithSink578) {
+  const auto inst = figures::fig3a();
+  const BftCupReport r =
+      check_bft_cup_requirements(inst.graph, inst.faulty, inst.f);
+  EXPECT_TRUE(r.satisfied) << r.reason;
+  EXPECT_EQ(r.safe_sink, inst.expected_sink);
+}
+
+TEST(BftCupRequirementsTest, Fig3bSatisfiesWithF2) {
+  const auto inst = figures::fig3b();
+  const BftCupReport r =
+      check_bft_cup_requirements(inst.graph, inst.faulty, inst.f);
+  EXPECT_TRUE(r.satisfied) << r.reason;
+  EXPECT_EQ(r.safe_sink, inst.expected_sink);
+}
+
+}  // namespace
+}  // namespace bftcup::graph

@@ -1,0 +1,142 @@
+// Property-style sweeps over random graphs, cross-validating the protocol
+// components against the omniscient graph checkers.
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/extended_osr.hpp"
+#include "graph/generators.hpp"
+#include "graph/osr.hpp"
+#include "protocol/core.hpp"
+#include "protocol/sink.hpp"
+
+namespace bftcup {
+namespace {
+
+using graph::generators::BftCupParams;
+using graph::generators::CupftParams;
+using graph::generators::GeneratedSystem;
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- Graph-theory invariants ------------------------------------------
+
+TEST_P(SeededProperty, KappaMonotoneUnderEdgeAddition) {
+  Rng rng(GetParam());
+  // Random strongly connected base: a cycle plus chords.
+  graph::Digraph g;
+  const std::size_t n = 6 + rng.next_below(4);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    g.add_edge(ProcessId(i), ProcessId((i + 1) % n));
+  }
+  std::size_t prev = graph::strong_connectivity(g);
+  EXPECT_EQ(prev, 1U);
+  for (int chord = 0; chord < 8; ++chord) {
+    const ProcessId a(rng.next_below(n));
+    const ProcessId b(rng.next_below(n));
+    if (a == b) continue;
+    g.add_edge(a, b);
+    const std::size_t next = graph::strong_connectivity(g);
+    EXPECT_GE(next, prev);  // adding edges never reduces κ
+    prev = next;
+  }
+}
+
+TEST_P(SeededProperty, KappaEqualsMinPairwiseDisjointPaths) {
+  Rng rng(GetParam() ^ 0xabc);
+  graph::Digraph g;
+  const std::size_t n = 5;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    g.add_edge(ProcessId(i), ProcessId((i + 1) % n));
+  }
+  for (int chord = 0; chord < 6; ++chord) {
+    g.add_edge(ProcessId(rng.next_below(n)), ProcessId(rng.next_below(n)));
+  }
+  const std::size_t kappa = graph::strong_connectivity(g);
+  std::size_t min_pairs = SIZE_MAX;
+  for (ProcessId a : g.vertices()) {
+    for (ProcessId b : g.vertices()) {
+      if (a == b) continue;
+      min_pairs = std::min(min_pairs, graph::disjoint_path_count(g, a, b));
+    }
+  }
+  EXPECT_EQ(kappa, min_pairs);
+}
+
+TEST_P(SeededProperty, MaxOsrKIsTight) {
+  Rng rng(GetParam() ^ 0x123);
+  BftCupParams params;
+  params.f = 1 + GetParam() % 2;
+  params.sink_size = 2 * params.f + 2;
+  params.non_sink = 3;
+  params.byzantine_in_sink = 0;
+  const GeneratedSystem sys = graph::generators::random_bft_cup(params, rng);
+  const std::size_t k = graph::max_osr_k(sys.graph);
+  ASSERT_GT(k, 0U);
+  EXPECT_TRUE(graph::check_k_osr(sys.graph, k).satisfied);
+  EXPECT_FALSE(graph::check_k_osr(sys.graph, k + 1).satisfied);
+}
+
+// --- Protocol-vs-checker agreement ------------------------------------
+
+TEST_P(SeededProperty, SinkPredicateMatchesGroundTruthOnBftCupGraphs) {
+  Rng rng(GetParam() ^ 0x777);
+  BftCupParams params;
+  params.f = 1;
+  params.sink_size = 5;
+  params.non_sink = 4;
+  params.byzantine_in_sink = 1;
+  const GeneratedSystem sys = graph::generators::random_bft_cup(params, rng);
+
+  // Theorem 4: with the true f, ANY satisfying candidate equals the sink.
+  const auto view = protocol::KnowledgeView::omniscient(sys.graph);
+  const protocol::ExhaustiveSinkSearch search;
+  for (const auto& c : search.candidates(view)) {
+    if (c.g != sys.f) continue;
+    EXPECT_EQ(c.members(), sys.sink);
+  }
+}
+
+TEST_P(SeededProperty, CoreMatchesCheckerOnCupftGraphs) {
+  Rng rng(GetParam() ^ 0x999);
+  CupftParams params;
+  params.f = 1;
+  params.core_size = 5;
+  params.periphery = 3 + GetParam() % 3;
+  params.byzantine_in_core = 1;
+  const GeneratedSystem sys = graph::generators::random_cupft(params, rng);
+
+  const auto checker =
+      graph::check_bft_cupft_requirements(sys.graph, sys.faulty, sys.f);
+  ASSERT_TRUE(checker.satisfied) << checker.reason;
+
+  const auto view = protocol::KnowledgeView::omniscient(sys.graph);
+  const protocol::ExhaustiveSinkSearch search;
+  const auto core = protocol::try_find_core(view, search);
+  ASSERT_TRUE(core.has_value());
+  // Protocol core = checker core + Byzantine members inside it.
+  EXPECT_EQ(core->members.set_difference(sys.faulty), checker.safe_core);
+}
+
+TEST_P(SeededProperty, SinkSurvivesAnyFaultPlacement) {
+  // Remove any single sink member from a generated f=1 graph: what remains
+  // still satisfies the 2-OSR safe-subgraph requirements.
+  Rng rng(GetParam() ^ 0x3f);
+  BftCupParams params;
+  params.f = 1;
+  params.sink_size = 5;
+  params.non_sink = 3;
+  params.byzantine_in_sink = 1;
+  const GeneratedSystem sys = graph::generators::random_bft_cup(params, rng);
+  for (ProcessId victim : sys.sink) {
+    const auto r =
+        graph::check_bft_cup_requirements(sys.graph, IdSet{victim}, sys.f);
+    EXPECT_TRUE(r.satisfied)
+        << "victim " << to_string(victim) << ": " << r.reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace bftcup

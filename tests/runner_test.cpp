@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "cup/runner.hpp"
+#include "graph/figures.hpp"
+
+namespace bftcup::cup {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+TEST(RunReportTest, VerdictPriorities) {
+  RunReport r;
+  r.all_correct_decided = true;
+  EXPECT_EQ(r.verdict(), "SOLVED");
+  r.validity = false;
+  EXPECT_EQ(r.verdict(), "VALIDITY-VIOLATED");
+  r.agreement = false;
+  EXPECT_EQ(r.verdict(), "AGREEMENT-VIOLATED");  // agreement trumps validity
+  r.agreement = true;
+  r.validity = true;
+  r.all_correct_decided = false;
+  EXPECT_EQ(r.verdict(), "NO-TERMINATION");
+}
+
+TEST(RunnerTest, DefaultProposalsAreDistinctPerProcess) {
+  EXPECT_NE(default_proposal(p(1)), default_proposal(p(2)));
+  EXPECT_EQ(default_proposal(p(3)), default_proposal(p(3)));
+}
+
+TEST(RunnerTest, CustomProposalsWin) {
+  const auto inst = graph::figures::fig2a();
+  Scenario s;
+  s.graph = inst.graph;
+  s.f = inst.f;
+  s.faulty = inst.faulty;
+  s.mode = Mode::kAuth;
+  for (std::uint64_t id = 1; id <= 4; ++id) s.proposals[p(id)] = 31337;
+  const auto report = run_scenario(s);
+  EXPECT_EQ(report.verdict(), "SOLVED");
+  EXPECT_EQ(report.common_value, 31337U);
+}
+
+TEST(RunnerTest, ReportsCorrectSetExcludesFaulty) {
+  const auto inst = graph::figures::fig1b();
+  Scenario s;
+  s.graph = inst.graph;
+  s.f = inst.f;
+  s.faulty = inst.faulty;
+  s.mode = Mode::kAuth;
+  const auto report = run_scenario(s);
+  EXPECT_FALSE(report.correct.contains(p(4)));
+  EXPECT_EQ(report.correct.size(), 7U);
+  // Faulty silent node never decides.
+  EXPECT_FALSE(report.decisions.contains(p(4)));
+}
+
+TEST(RunnerTest, MembershipTimesPrecedeDecisions) {
+  const auto inst = graph::figures::fig1b();
+  Scenario s;
+  s.graph = inst.graph;
+  s.f = inst.f;
+  s.faulty = inst.faulty;
+  s.mode = Mode::kAuth;
+  const auto report = run_scenario(s);
+  ASSERT_TRUE(report.all_correct_decided);
+  for (const auto& [who, d] : report.decisions) {
+    ASSERT_TRUE(report.membership_times.contains(who)) << to_string(who);
+    EXPECT_LE(report.membership_times.at(who), d.time) << to_string(who);
+  }
+}
+
+TEST(RunnerTest, DeterministicForFixedSeed) {
+  auto run_once = [] {
+    const auto inst = graph::figures::fig1b();
+    Scenario s;
+    s.graph = inst.graph;
+    s.f = inst.f;
+    s.faulty = inst.faulty;
+    s.mode = Mode::kAuth;
+    s.sim.seed = 1234;
+    return run_scenario(s);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (const auto& [who, d] : a.decisions) {
+    EXPECT_EQ(d.value, b.decisions.at(who).value);
+    EXPECT_EQ(d.time, b.decisions.at(who).time);
+  }
+}
+
+TEST(RunnerTest, DifferentSeedsDifferentSchedules) {
+  auto run_with = [](std::uint64_t seed) {
+    const auto inst = graph::figures::fig1b();
+    Scenario s;
+    s.graph = inst.graph;
+    s.f = inst.f;
+    s.faulty = inst.faulty;
+    s.mode = Mode::kAuth;
+    s.sim.seed = seed;
+    s.sim.net.gst = 2'000;  // chaotic prefix amplifies schedule differences
+    return run_scenario(s);
+  };
+  const auto a = run_with(1);
+  const auto b = run_with(2);
+  EXPECT_EQ(a.verdict(), "SOLVED");
+  EXPECT_EQ(b.verdict(), "SOLVED");
+  EXPECT_NE(a.completion_time, b.completion_time);  // schedules differ
+}
+
+TEST(RunnerTest, CustomSearchStrategyIsUsed) {
+  const auto inst = graph::figures::fig1b();
+  Scenario s;
+  s.graph = inst.graph;
+  s.f = inst.f;
+  s.faulty = inst.faulty;
+  s.mode = Mode::kAuth;
+  s.search = std::make_shared<protocol::StructuredSinkSearch>();
+  const auto report = run_scenario(s);
+  EXPECT_EQ(report.verdict(), "SOLVED");
+}
+
+TEST(RunnerTest, EquivocatorValuesCountAsProposed) {
+  // Deciding one of the equivocator's values must not be flagged as a
+  // Validity violation (Byzantine processes are processes too).
+  const auto inst = graph::figures::fig1b();
+  Scenario s;
+  s.graph = inst.graph;
+  s.f = inst.f;
+  s.faulty = inst.faulty;
+  s.byz = ByzBehavior::kEquivocate;
+  s.mode = Mode::kAuth;
+  const auto report = run_scenario(s);
+  EXPECT_TRUE(report.agreement);
+  EXPECT_TRUE(report.validity);
+}
+
+}  // namespace
+}  // namespace bftcup::cup

@@ -1,0 +1,155 @@
+// Pins the isSink evaluations the paper states explicitly.
+#include <gtest/gtest.h>
+
+#include "graph/figures.hpp"
+#include "protocol/sink_predicate.hpp"
+
+namespace bftcup::protocol {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+KnowledgeView omniscient(const graph::Digraph& g) {
+  return KnowledgeView::omniscient(g);
+}
+
+TEST(IsSinkTest, Fig1bScenarioFromSectionIII) {
+  // "process 2 is slow, process 4 sends P = {1,2,3} as its PD": process 1's
+  // view holds PDs of 1, 3, 4 — the conditions hold with S1 = {1,3,4},
+  // S2 = {2}.
+  const auto inst = graph::figures::fig1b();
+  KnowledgeView view(p(1), inst.graph.out_neighbors(p(1)));
+  view.add_pd(p(3), inst.graph.out_neighbors(p(3)));
+  view.add_pd(p(4), IdSet{p(1), p(2), p(3)});
+
+  const auto s2 = is_sink(view, 1, IdSet{p(1), p(3), p(4)});
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(*s2, (IdSet{p(2)}));
+  EXPECT_TRUE(is_sink(view, 1, IdSet{p(1), p(3), p(4)}, IdSet{p(2)}));
+}
+
+TEST(IsSinkTest, Fig1bFullKnowledgeS1AllCorrectSink) {
+  // Scenario I: Byzantine 4 silent, all correct PDs received.
+  const auto inst = graph::figures::fig1b();
+  const IdSet correct = inst.graph.vertices().set_difference(inst.faulty);
+  KnowledgeView view(p(1), inst.graph.out_neighbors(p(1)));
+  for (ProcessId id : correct) {
+    view.add_pd(id, inst.graph.out_neighbors(id));
+  }
+  const auto s2 = is_sink(view, 1, IdSet{p(1), p(2), p(3)});
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(*s2, (IdSet{p(4)}));  // silent Byzantine absorbed via P4
+}
+
+TEST(IsSinkTest, ObservationOneOnFig2c) {
+  // "isSink(1, {1,2,3}, {4}) = true and isSink(1, {6,7,8}, {5}) = true".
+  const auto view = omniscient(graph::figures::fig2c().graph);
+  EXPECT_TRUE(is_sink(view, 1, IdSet{p(1), p(2), p(3)}, IdSet{p(4)}));
+  EXPECT_TRUE(is_sink(view, 1, IdSet{p(6), p(7), p(8)}, IdSet{p(5)}));
+}
+
+TEST(IsSinkTest, Fig3aNonSinkDeclaration) {
+  // "isSink(2, {1,2,3,4,6}, {5,7}) = true" (Section IV).
+  const auto view = omniscient(graph::figures::fig3a().graph);
+  EXPECT_TRUE(is_sink(view, 2, IdSet{p(1), p(2), p(3), p(4), p(6)},
+                      IdSet{p(5), p(7)}));
+}
+
+TEST(IsSinkTest, Fig3aTrueSinkAlsoDeclarable) {
+  const auto view = omniscient(graph::figures::fig3a().graph);
+  EXPECT_TRUE(is_sink(view, 1, IdSet{p(5), p(7), p(8)}, IdSet{}));
+}
+
+TEST(IsSinkTest, P1SizeViolation) {
+  const auto view = omniscient(graph::figures::fig2c().graph);
+  // |S1| = 2 < 2*1+1.
+  EXPECT_FALSE(is_sink(view, 1, IdSet{p(1), p(2)}).has_value());
+}
+
+TEST(IsSinkTest, P2ConnectivityViolation) {
+  // A directed 3-cycle has κ = 1 < f+1 = 2.
+  graph::Digraph g;
+  g.add_edge(p(1), p(2));
+  g.add_edge(p(2), p(3));
+  g.add_edge(p(3), p(1));
+  const auto view = omniscient(g);
+  EXPECT_FALSE(is_sink(view, 1, IdSet{p(1), p(2), p(3)}).has_value());
+}
+
+TEST(IsSinkTest, S1MustBeReceived) {
+  const auto inst = graph::figures::fig2c().graph;
+  KnowledgeView view(p(1), inst.out_neighbors(p(1)));
+  // Process 1 knows 2 and 3 but has not received their PDs.
+  EXPECT_FALSE(is_sink(view, 1, IdSet{p(1), p(2), p(3)}).has_value());
+}
+
+TEST(IsSinkTest, P3EscapeViolation) {
+  // Fig. 4a's B-side: 5->4, 6->3, 7->2 escape and cannot be absorbed.
+  const auto view = omniscient(graph::figures::fig4a().graph);
+  EXPECT_FALSE(is_sink(view, 1, IdSet{p(5), p(6), p(7), p(8)}).has_value());
+  EXPECT_FALSE(is_sink(view, 1, IdSet{p(5), p(6), p(8)}).has_value());
+  EXPECT_FALSE(is_sink(view, 1, IdSet{p(6), p(7), p(8)}).has_value());
+}
+
+TEST(IsSinkTest, ExplicitS2MustMatchDerived) {
+  const auto view = omniscient(graph::figures::fig2c().graph);
+  EXPECT_FALSE(is_sink(view, 1, IdSet{p(1), p(2), p(3)}, IdSet{}));
+  EXPECT_FALSE(is_sink(view, 1, IdSet{p(1), p(2), p(3)}, IdSet{p(4), p(5)}));
+}
+
+TEST(AdmissibleThresholdsTest, CompleteK5) {
+  graph::Digraph g;
+  for (std::uint64_t a = 1; a <= 5; ++a) {
+    for (std::uint64_t b = 1; b <= 5; ++b) {
+      if (a != b) g.add_edge(p(a), p(b));
+    }
+  }
+  const auto view = omniscient(g);
+  const IdSet all = g.vertices();
+  const auto splits = admissible_thresholds(view, all);
+  ASSERT_EQ(splits.size(), 3U);  // g ∈ {0, 1, 2}
+  EXPECT_EQ(splits.back().g, 2U);
+  EXPECT_TRUE(splits.back().s2.empty());
+}
+
+TEST(AdmissibleThresholdsTest, UnreceivedS1Empty) {
+  KnowledgeView view(p(1), IdSet{p(2)});
+  EXPECT_TRUE(admissible_thresholds(view, IdSet{p(2)}).empty());
+}
+
+TEST(IsSinkStarTest, Fig2cBothHalves) {
+  const auto view = omniscient(graph::figures::fig2c().graph);
+  const auto fa = is_sink_star(view, IdSet{p(1), p(2), p(3), p(4)});
+  const auto fb = is_sink_star(view, IdSet{p(5), p(6), p(7), p(8)});
+  ASSERT_TRUE(fa.has_value());
+  ASSERT_TRUE(fb.has_value());
+  EXPECT_EQ(*fa, 1U);
+  EXPECT_EQ(*fb, 1U);
+}
+
+TEST(IsSinkStarTest, RejectsNonSink) {
+  const auto view = omniscient(graph::figures::fig4a().graph);
+  EXPECT_FALSE(is_sink_star(view, IdSet{p(5), p(6), p(7), p(8)}).has_value());
+}
+
+TEST(IsSinkStarTest, MaximalWitnessReturned) {
+  // Full fig3b graph: S1 = K5 {1,2,3,4,6} absorbs the Byzantine {5,7} into
+  // S2 (every K5 member points at them), witnessing g = 2.
+  const auto view = omniscient(graph::figures::fig3b().graph);
+  const auto f = is_sink_star(view, view.known());
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, 2U);
+}
+
+TEST(IsSinkStarTest, SetNotCoveringDerivedS2Rejected) {
+  // {1,2,3,4,6} alone is NOT isSink*-declarable on the full fig3b graph:
+  // the derived S2 = {5,7} must be part of the declared set.
+  const auto view = omniscient(graph::figures::fig3b().graph);
+  EXPECT_FALSE(
+      is_sink_star(view, IdSet{p(1), p(2), p(3), p(4), p(6)}).has_value());
+}
+
+}  // namespace
+}  // namespace bftcup::protocol

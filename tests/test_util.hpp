@@ -1,0 +1,52 @@
+// Shared helpers for simulator-based tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.hpp"
+
+namespace bftcup::test {
+
+/// A process scripted with lambdas; handy for exercising the simulator and
+/// single protocol components without a full node.
+class ScriptedProcess : public sim::Process {
+ public:
+  using StartFn = std::function<void(sim::Context&)>;
+  using MessageFn =
+      std::function<void(ProcessId, const msg::Message&, sim::Context&)>;
+  using TimerFn = std::function<void(int, sim::Context&)>;
+
+  explicit ScriptedProcess(ProcessId id) : sim::Process(id) {}
+
+  ScriptedProcess& on_start_do(StartFn fn) {
+    start_ = std::move(fn);
+    return *this;
+  }
+  ScriptedProcess& on_message_do(MessageFn fn) {
+    message_ = std::move(fn);
+    return *this;
+  }
+  ScriptedProcess& on_timer_do(TimerFn fn) {
+    timer_ = std::move(fn);
+    return *this;
+  }
+
+  void on_start(sim::Context& ctx) override {
+    if (start_) start_(ctx);
+  }
+  void on_message(ProcessId from, const msg::Message& message,
+                  sim::Context& ctx) override {
+    if (message_) message_(from, message, ctx);
+  }
+  void on_timer(int kind, sim::Context& ctx) override {
+    if (timer_) timer_(kind, ctx);
+  }
+
+ private:
+  StartFn start_;
+  MessageFn message_;
+  TimerFn timer_;
+};
+
+}  // namespace bftcup::test

@@ -1,0 +1,166 @@
+// Unit tests for Algorithm 3's value exchange (lines 5-10).
+#include <gtest/gtest.h>
+
+#include "protocol/consensus.hpp"
+#include "test_util.hpp"
+
+namespace bftcup::protocol {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+/// Non-member side: requests the decided value from `members` at startup.
+class AskerProcess : public sim::Process {
+ public:
+  AskerProcess(ProcessId id, IdSet members)
+      : sim::Process(id), exchange_(id), members_(std::move(members)) {}
+
+  void on_start(sim::Context& ctx) override {
+    exchange_.request(members_, ctx);
+  }
+  void on_message(ProcessId from, const msg::Message& m,
+                  sim::Context& ctx) override {
+    exchange_.handle_message(from, m, ctx);
+    if (const auto v = exchange_.fetched()) ctx.decide(*v);
+  }
+
+ private:
+  ValueExchange exchange_;
+  IdSet members_;
+};
+
+/// Member side: serves GETDECIDEDVAL, deciding its value at `decide_at`.
+class ServerProcess : public sim::Process {
+ public:
+  ServerProcess(ProcessId id, Value value, SimTime decide_at)
+      : sim::Process(id),
+        exchange_(id),
+        value_(value),
+        decide_at_(decide_at) {}
+
+  void on_start(sim::Context& ctx) override {
+    if (decide_at_ == 0) {
+      exchange_.set_local_decision(value_, ctx);
+    } else {
+      ctx.set_timer(decide_at_, 7);
+    }
+  }
+  void on_message(ProcessId from, const msg::Message& m,
+                  sim::Context& ctx) override {
+    exchange_.handle_message(from, m, ctx);
+  }
+  void on_timer(int kind, sim::Context& ctx) override {
+    if (kind == 7) exchange_.set_local_decision(value_, ctx);
+  }
+
+ private:
+  ValueExchange exchange_;
+  Value value_;
+  SimTime decide_at_;
+};
+
+msg::Message decided_val(Value v) {
+  msg::Message m;
+  m.type = msg::MsgType::kDecidedVal;
+  m.value = v;
+  return m;
+}
+
+sim::Simulator make_sim() {
+  sim::Simulator::Options options;
+  options.horizon = 50'000;
+  return sim::Simulator(options);
+}
+
+TEST(ValueExchangeTest, MajorityOfIdenticalAnswersDecides) {
+  auto simulator = make_sim();
+  IdSet members;
+  // 5 members, one lying: ceil((5+1)/2) = 3 identical answers required.
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    members.insert(p(id));
+    simulator.add_process(std::make_unique<ServerProcess>(
+        p(id), id == 1 ? 666 : 42, /*decide_at=*/0));
+  }
+  simulator.add_process(std::make_unique<AskerProcess>(p(10), members));
+  simulator.run();
+  ASSERT_TRUE(simulator.trace().decisions().contains(p(10)));
+  EXPECT_EQ(simulator.trace().decisions().at(p(10)).value, 42U);
+}
+
+TEST(ValueExchangeTest, MinorityOfLiarsCannotWin) {
+  auto simulator = make_sim();
+  IdSet members;
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    members.insert(p(id));
+    // Two liars of four: needed = ceil(5/2) = 3 > 2, so no value wins.
+    simulator.add_process(std::make_unique<ServerProcess>(
+        p(id), id <= 2 ? 666 : 42, 0));
+  }
+  simulator.add_process(std::make_unique<AskerProcess>(p(10), members));
+  simulator.run();
+  EXPECT_FALSE(simulator.trace().decisions().contains(p(10)));
+}
+
+TEST(ValueExchangeTest, DeferredReplyWaitsForLocalDecision) {
+  // Alg. 3 line 9: "wait until val != ⊥". Members decide late; the earlier
+  // request must still be answered.
+  auto simulator = make_sim();
+  IdSet members;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    members.insert(p(id));
+    simulator.add_process(
+        std::make_unique<ServerProcess>(p(id), 42, /*decide_at=*/1'000));
+  }
+  simulator.add_process(std::make_unique<AskerProcess>(p(10), members));
+  simulator.run();
+  ASSERT_TRUE(simulator.trace().decisions().contains(p(10)));
+  const auto& d = simulator.trace().decisions().at(p(10));
+  EXPECT_EQ(d.value, 42U);
+  EXPECT_GE(d.time, 1'000);
+}
+
+TEST(ValueExchangeTest, AnswersFromNonMembersIgnored) {
+  auto simulator = make_sim();
+  IdSet members = {p(1), p(2), p(3)};
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    simulator.add_process(std::make_unique<ServerProcess>(
+        p(id), 42, /*decide_at=*/20'000));  // too late to matter much
+  }
+  // An outsider floods bogus answers immediately.
+  auto outsider = std::make_unique<test::ScriptedProcess>(p(9));
+  outsider->on_start_do([](sim::Context& ctx) {
+    for (int i = 0; i < 10; ++i) ctx.send(p(10), decided_val(666));
+  });
+  simulator.add_process(std::move(outsider));
+  simulator.add_process(std::make_unique<AskerProcess>(p(10), members));
+  simulator.run();
+  // Either undecided or decided with the members' value — never 666.
+  const auto& decisions = simulator.trace().decisions();
+  if (decisions.contains(p(10))) {
+    EXPECT_EQ(decisions.at(p(10)).value, 42U);
+  }
+}
+
+TEST(ValueExchangeTest, DuplicateAnswersFromSameMemberCountOnce) {
+  auto simulator = make_sim();
+  IdSet members = {p(1), p(2), p(3)};
+  // Only member 1 answers — three times. needed = 2; duplicates must not
+  // accumulate.
+  auto repeater = std::make_unique<test::ScriptedProcess>(p(1));
+  repeater->on_message_do(
+      [](ProcessId from, const msg::Message& m, sim::Context& ctx) {
+        if (m.type != msg::MsgType::kGetDecidedVal) return;
+        for (int i = 0; i < 3; ++i) ctx.send(from, decided_val(42));
+      });
+  simulator.add_process(std::move(repeater));
+  simulator.add_process(std::make_unique<test::ScriptedProcess>(p(2)));
+  simulator.add_process(std::make_unique<test::ScriptedProcess>(p(3)));
+  simulator.add_process(std::make_unique<AskerProcess>(p(10), members));
+  simulator.run();
+  EXPECT_FALSE(simulator.trace().decisions().contains(p(10)));
+}
+
+}  // namespace
+}  // namespace bftcup::protocol
