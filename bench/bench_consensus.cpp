@@ -1,78 +1,77 @@
 // Experiment P3 — the price of not knowing f: AuthCup (known f) vs CUPFT
-// (unknown f) end-to-end on identical BFT-CUPFT-compatible topologies.
+// (unknown f) end-to-end on identical BFT-CUPFT-compatible topologies
+// (the registry's "price-of-f" family).
 #include <benchmark/benchmark.h>
 
+#include <cinttypes>
 #include <cstdio>
+#include <string>
 
-#include "cup/runner.hpp"
-#include "graph/generators.hpp"
+#include "cup/batch_runner.hpp"
 
 namespace {
 
 using namespace bftcup;
 
-struct Setup {
-  graph::Digraph graph;
-  IdSet faulty;
-  std::size_t f;
-};
-
-Setup make_setup(std::size_t core, std::size_t periphery,
-                 std::uint64_t seed) {
-  Rng rng(seed);
-  graph::generators::CupftParams params;
-  params.f = 1;
-  params.core_size = core;
-  params.periphery = periphery;
-  params.byzantine_in_core = 1;
-  const auto sys = graph::generators::random_cupft(params, rng);
-  return {sys.graph, sys.faulty, sys.f};
+std::string family_name(std::size_t core, std::size_t periphery,
+                        const char* mode) {
+  return "price-of-f/core" + std::to_string(core) + "-peri" +
+         std::to_string(periphery) + "/" + mode;
 }
 
-cup::RunReport run_mode(const Setup& setup, cup::Mode mode,
-                        std::uint64_t seed) {
-  cup::Scenario s;
-  s.graph = setup.graph;
-  s.faulty = setup.faulty;
-  s.f = setup.f;
-  s.mode = mode;
-  s.sim.seed = seed;
-  return cup::run_scenario(s);
+/// The single run a (scenario, 1-seed) sweep produced; fails loudly if the
+/// name ever drifts from the registry's.
+const cup::RunRecord& only_run(const cup::BatchReport& batch,
+                               const std::string& name) {
+  const auto runs = batch.runs_of(name);
+  if (runs.empty()) {
+    std::fprintf(stderr, "no sweep results for \"%s\"\n", name.c_str());
+    std::abort();
+  }
+  return *runs.front();
 }
 
 void print_experiment() {
   std::printf("\n=== P3: known-f (BFT-CUP) vs unknown-f (BFT-CUPFT) ===\n");
   std::printf("%6s %6s | %10s %10s | %10s %10s | %8s\n", "core", "peri",
               "auth-lat", "auth-msgs", "cupft-lat", "cupft-msgs", "overhead");
+
+  // All 12 (topology, mode) points in one hardware-parallel batch.
+  cup::Sweep sweep;
+  sweep.add_tag(cup::ScenarioRegistry::paper(), "price-of-f").seeds(5, 1);
+  const cup::BatchReport batch = cup::BatchRunner().run(sweep);
+
   for (std::size_t core : {5, 7}) {
     for (std::size_t periphery : {3, 6, 10}) {
-      const Setup setup = make_setup(core, periphery, 11);
-      const auto auth = run_mode(setup, cup::Mode::kAuth, 5);
-      const auto cupft = run_mode(setup, cup::Mode::kCupft, 5);
+      const cup::RunRecord& auth =
+          only_run(batch, family_name(core, periphery, "auth"));
+      const cup::RunRecord& cupft =
+          only_run(batch, family_name(core, periphery, "cupft"));
       const double overhead =
-          auth.completion_time && cupft.completion_time && *auth.completion_time
-              ? static_cast<double>(*cupft.completion_time) /
-                    static_cast<double>(*auth.completion_time)
+          auth.latency > 0 && cupft.latency > 0
+              ? static_cast<double>(cupft.latency) /
+                    static_cast<double>(auth.latency)
               : 0.0;
-      std::printf("%6zu %6zu | %10lld %10llu | %10lld %10llu | %7.2fx  %s/%s\n",
-                  core, periphery,
-                  static_cast<long long>(auth.completion_time.value_or(-1)),
-                  static_cast<unsigned long long>(auth.messages_sent),
-                  static_cast<long long>(cupft.completion_time.value_or(-1)),
-                  static_cast<unsigned long long>(cupft.messages_sent),
-                  overhead, auth.verdict().c_str(), cupft.verdict().c_str());
+      std::printf("%6zu %6zu | %10" PRId64 " %10" PRIu64 " | %10" PRId64
+                  " %10" PRIu64 " | %7.2fx  %s/%s\n",
+                  core, periphery, auth.latency, auth.messages, cupft.latency,
+                  cupft.messages, overhead, auth.verdict.c_str(),
+                  cupft.verdict.c_str());
     }
   }
 }
 
 void BM_Consensus(benchmark::State& state) {
-  const Setup setup = make_setup(static_cast<std::size_t>(state.range(1)), 5,
-                                 11);
-  const auto mode =
-      state.range(0) == 0 ? cup::Mode::kAuth : cup::Mode::kCupft;
+  const auto core = static_cast<std::size_t>(state.range(1));
+  // Measured point: the registry's periphery-6 family (the closest to the
+  // pre-registry periphery-5 setup). The factory — which generates the
+  // random topology — runs once, outside the timed loop; only the seed
+  // changes per iteration.
+  cup::ScenarioBuilder builder = cup::ScenarioRegistry::paper().builder(
+      family_name(core, 6, state.range(0) == 0 ? "auth" : "cupft"));
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    const auto report = run_mode(setup, mode, seed++);
+    const auto report = cup::run_scenario(builder.seed(seed++).build());
     benchmark::DoNotOptimize(report.all_correct_decided);
     state.counters["sim_ticks"] =
         static_cast<double>(report.completion_time.value_or(-1));

@@ -3,9 +3,10 @@
 // paper proves Theorem 2 but reports no numbers).
 #include <benchmark/benchmark.h>
 
+#include <cinttypes>
 #include <cstdio>
 
-#include "cup/runner.hpp"
+#include "cup/scenario_builder.hpp"
 #include "graph/generators.hpp"
 
 namespace {
@@ -21,13 +22,10 @@ cup::RunReport run(std::size_t f, std::size_t non_sink, std::uint64_t seed) {
   params.byzantine_in_sink = f;
   const auto sys = graph::generators::random_bft_cup(params, rng);
 
-  cup::Scenario s;
-  s.graph = sys.graph;
-  s.f = sys.f;
-  s.faulty = sys.faulty;
-  s.mode = cup::Mode::kAuth;
-  s.sim.seed = seed * 7 + 1;
-  return cup::run_scenario(s);
+  return cup::ScenarioBuilder(sys)
+      .mode(cup::Mode::kAuth)
+      .seed(seed * 7 + 1)
+      .run();
 }
 
 void print_experiment() {
@@ -41,13 +39,11 @@ void print_experiment() {
       for (const auto& [who, t] : report.membership_times) {
         sink_found = std::max(sink_found, t);
       }
-      std::printf("%4zu %4zu %6d | %14lld %14lld %12llu %12llu   %s\n", f,
-                  2 * f + 1 + f + non_sink, 3,
-                  static_cast<long long>(sink_found),
-                  static_cast<long long>(report.completion_time.value_or(-1)),
-                  static_cast<unsigned long long>(report.messages_sent),
-                  static_cast<unsigned long long>(report.bytes_sent),
-                  report.verdict().c_str());
+      std::printf("%4zu %4zu %6d | %14" PRId64 " %14" PRId64 " %12" PRIu64
+                  " %12" PRIu64 "   %s\n",
+                  f, 2 * f + 1 + f + non_sink, 3, sink_found,
+                  report.completion_time.value_or(-1), report.messages_sent,
+                  report.bytes_sent, report.verdict().c_str());
     }
   }
 }

@@ -10,21 +10,8 @@ namespace {
 
 using namespace bftcup;
 
-cup::Scenario scenario_for(const graph::figures::Instance& inst,
-                           cup::ByzBehavior byz, std::uint64_t seed,
-                           SimTime horizon) {
-  cup::Scenario s;
-  s.graph = inst.graph;
-  s.faulty = inst.faulty;
-  s.f = inst.f;
-  s.mode = cup::Mode::kAuth;
-  s.byz = byz;
-  s.sim.seed = seed;
-  s.sim.horizon = horizon;
-  if (byz == cup::ByzBehavior::kFakePd) {
-    s.fake_pds[ProcessId(4)] = IdSet{ProcessId(1), ProcessId(2), ProcessId(3)};
-  }
-  return s;
+const cup::ScenarioRegistry& registry() {
+  return cup::ScenarioRegistry::paper();
 }
 
 void print_experiment() {
@@ -41,26 +28,18 @@ void print_experiment() {
               ra.reason.c_str());
   std::printf("checker fig1b: %s\n", rb.satisfied ? "ACCEPT" : "REJECT");
 
-  bench::print_row("fig1a silent-byz (run)",
-                   cup::run_scenario(scenario_for(
-                       a, cup::ByzBehavior::kSilent, 1, 150'000)));
-  bench::print_row("fig1b silent-byz (run)",
-                   cup::run_scenario(scenario_for(
-                       b, cup::ByzBehavior::kSilent, 1, 2'000'000)));
+  bench::print_row("fig1a silent-byz (run)", registry().run("fig1a/silent", 1));
+  bench::print_row("fig1b silent-byz (run)", registry().run("fig1b/silent", 1));
   bench::print_row("fig1b fake-pd-byz (run)",
-                   cup::run_scenario(scenario_for(
-                       b, cup::ByzBehavior::kFakePd, 2, 2'000'000)));
+                   registry().run("fig1b/fake-pd", 2));
   bench::print_row("fig1b wrong-value-byz (run)",
-                   cup::run_scenario(scenario_for(
-                       b, cup::ByzBehavior::kWrongValue, 3, 2'000'000)));
+                   registry().run("fig1b/wrong-value", 3));
 }
 
 void BM_Fig1bEndToEnd(benchmark::State& state) {
-  const auto inst = graph::figures::fig1b();
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    const auto report = cup::run_scenario(
-        scenario_for(inst, cup::ByzBehavior::kSilent, seed++, 2'000'000));
+    const auto report = registry().run("fig1b/silent", seed++);
     benchmark::DoNotOptimize(report.all_correct_decided);
     state.counters["sim_ticks"] =
         static_cast<double>(report.completion_time.value_or(-1));

@@ -2,34 +2,16 @@
 // knowledge without a known fault threshold, as executable runs.
 #include <benchmark/benchmark.h>
 
+#include <cinttypes>
+
 #include "bench_util.hpp"
-#include "graph/figures.hpp"
 
 namespace {
 
 using namespace bftcup;
 
-constexpr Value kV = 111;
-constexpr Value kU = 222;
-
-cup::Scenario ab_scenario(cup::Mode mode, std::uint64_t seed) {
-  const auto inst = graph::figures::fig2c();
-  cup::Scenario s;
-  s.graph = inst.graph;
-  s.mode = mode;
-  s.sim.seed = seed;
-  s.sim.net.gst = 800'000;
-  s.sim.horizon = mode == cup::Mode::kNaive ? 1'000'000 : 150'000;
-  for (std::uint64_t id = 1; id <= 4; ++id) s.proposals[ProcessId(id)] = kV;
-  for (std::uint64_t id = 5; id <= 8; ++id) s.proposals[ProcessId(id)] = kU;
-  s.make_policy = [] {
-    IdSet a, b;
-    for (std::uint64_t id = 1; id <= 4; ++id) a.insert(ProcessId(id));
-    for (std::uint64_t id = 5; id <= 8; ++id) b.insert(ProcessId(id));
-    return std::make_unique<sim::GroupStretchPolicy>(
-        std::make_unique<sim::RandomDelayPolicy>(), a, b, 700'000);
-  };
-  return s;
+const cup::ScenarioRegistry& registry() {
+  return cup::ScenarioRegistry::paper();
 }
 
 void print_experiment() {
@@ -37,41 +19,32 @@ void print_experiment() {
                       "A decides v, B decides u, AB violates Agreement "
                       "under any unknown-f protocol with G_di knowledge");
 
-  {
-    const auto inst = graph::figures::fig2a();
-    cup::Scenario s;
-    s.graph = inst.graph;
-    s.faulty = inst.faulty;
-    s.mode = cup::Mode::kNaive;
-    for (std::uint64_t id = 1; id <= 4; ++id) s.proposals[ProcessId(id)] = kV;
-    bench::print_row("system A, naive unknown-f", cup::run_scenario(s));
-  }
-  {
-    const auto inst = graph::figures::fig2b();
-    cup::Scenario s;
-    s.graph = inst.graph;
-    s.faulty = inst.faulty;
-    s.mode = cup::Mode::kNaive;
-    for (std::uint64_t id = 5; id <= 8; ++id) s.proposals[ProcessId(id)] = kU;
-    bench::print_row("system B, naive unknown-f", cup::run_scenario(s));
-  }
+  bench::print_row("system A, naive unknown-f",
+                   registry().run("fig2/system-a-naive", 1));
+  bench::print_row("system B, naive unknown-f",
+                   registry().run("fig2/system-b-naive", 1));
 
-  std::size_t violations = 0;
-  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    const auto report = cup::run_scenario(ab_scenario(cup::Mode::kNaive, seed));
-    if (!report.agreement) ++violations;
-    if (seed == 1) bench::print_row("system AB, naive unknown-f", report);
-  }
-  std::printf("agreement violations on AB (naive): %zu/5 seeds\n", violations);
+  // The split-brain sweep: 5 seeds of system AB, hardware-parallel.
+  cup::Sweep sweep;
+  sweep.add(registry(), "fig2/system-ab-naive").seeds(1, 5);
+  const cup::BatchReport batch = cup::BatchRunner().run(sweep);
+  const cup::RunRecord& first =
+      *batch.runs_of("fig2/system-ab-naive").front();
+  std::printf("%-34s %-20s %10" PRId64 " %10" PRIu64 " %12" PRIu64 "\n",
+              "system AB, naive unknown-f", first.verdict.c_str(),
+              first.latency, first.messages, first.value);
+  const auto stats = batch.scenarios();
+  std::printf("agreement violations on AB (naive): %zu/%zu seeds\n",
+              stats.front().agreement_violations, stats.front().runs);
 
   bench::print_row("system AB, BFT-CUPFT (fixed)",
-                   cup::run_scenario(ab_scenario(cup::Mode::kCupft, 1)));
+                   registry().run("fig2/system-ab-cupft", 1));
 }
 
 void BM_SystemAbNaiveSplit(benchmark::State& state) {
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    const auto report = cup::run_scenario(ab_scenario(cup::Mode::kNaive, seed++));
+    const auto report = registry().run("fig2/system-ab-naive", seed++);
     benchmark::DoNotOptimize(report.agreement);
     state.counters["violated"] = report.agreement ? 0 : 1;
   }

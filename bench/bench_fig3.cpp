@@ -22,7 +22,6 @@ void print_experiment() {
       "is {5,7,8} with f=1");
 
   const auto a = graph::figures::fig3a();
-  const auto b = graph::figures::fig3b();
 
   const auto view_a = protocol::KnowledgeView::omniscient(a.graph);
   const IdSet s1 = {p(1), p(2), p(3), p(4), p(6)};
@@ -38,40 +37,14 @@ void print_experiment() {
                   ? "true"
                   : "false");
 
+  const auto& registry = cup::ScenarioRegistry::paper();
   // Known-f run on fig3a: all processes settle on {5,7,8}.
-  {
-    cup::Scenario s;
-    s.graph = a.graph;
-    s.faulty = a.faulty;
-    s.f = a.f;
-    s.mode = cup::Mode::kAuth;
-    bench::print_row("fig3a, known f=1", cup::run_scenario(s));
-  }
+  bench::print_row("fig3a, known f=1", registry.run("fig3a/auth", 1));
   // Unknown-f (correct protocol) on fig3a: must not decide — tie at k=2.
-  {
-    cup::Scenario s;
-    s.graph = a.graph;
-    s.faulty = a.faulty;
-    s.mode = cup::Mode::kCupft;
-    s.sim.horizon = 150'000;
-    bench::print_row("fig3a, BFT-CUPFT", cup::run_scenario(s));
-  }
+  bench::print_row("fig3a, BFT-CUPFT", registry.run("fig3a/cupft", 1));
   // fig3b (the indistinguishable 3-OSR system): solvable both ways.
-  {
-    cup::Scenario s;
-    s.graph = b.graph;
-    s.faulty = b.faulty;
-    s.f = b.f;
-    s.mode = cup::Mode::kAuth;
-    bench::print_row("fig3b, known f=2", cup::run_scenario(s));
-  }
-  {
-    cup::Scenario s;
-    s.graph = b.graph;
-    s.faulty = b.faulty;
-    s.mode = cup::Mode::kCupft;
-    bench::print_row("fig3b, BFT-CUPFT", cup::run_scenario(s));
-  }
+  bench::print_row("fig3b, known f=2", registry.run("fig3b/auth", 1));
+  bench::print_row("fig3b, BFT-CUPFT", registry.run("fig3b/cupft", 1));
 }
 
 void BM_IsSinkOnFig3a(benchmark::State& state) {

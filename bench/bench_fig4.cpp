@@ -10,6 +10,10 @@ namespace {
 
 using namespace bftcup;
 
+const cup::ScenarioRegistry& registry() {
+  return cup::ScenarioRegistry::paper();
+}
+
 void print_membership(const cup::RunReport& r) {
   if (r.memberships.empty()) return;
   const auto& first = r.memberships.begin()->second;
@@ -33,62 +37,32 @@ void print_experiment() {
                 check.satisfied ? "ACCEPT" : check.reason.c_str(),
                 check.core_k);
 
-    cup::Scenario s;
-    s.graph = inst.graph;
-    s.faulty = inst.faulty;
-    s.mode = cup::Mode::kCupft;
-    const auto report = cup::run_scenario(s);
+    const auto report =
+        registry().run(std::string(name) + "/cupft-silent", 1);
     bench::print_row(std::string(name) + ", BFT-CUPFT silent-byz", report);
     print_membership(report);
 
-    cup::Scenario sf = s;
-    sf.byz = cup::ByzBehavior::kFakePd;
     bench::print_row(std::string(name) + ", BFT-CUPFT fake-pd-byz",
-                     cup::run_scenario(sf));
+                     registry().run(std::string(name) + "/cupft-fake-pd", 1));
   }
 
   // Ablation: the bridge-hiding attack on fig4a (DESIGN.md §4.6 finding 3)
   // without and with the knowledge-closure guard.
   std::printf("--- bridge-hiding fake-PD attack ablation (fig4a) ---\n");
-  {
-    const auto inst = graph::figures::fig4a();
-    cup::Scenario attack;
-    attack.graph = inst.graph;
-    attack.faulty = inst.faulty;
-    attack.mode = cup::Mode::kCupft;
-    attack.byz = cup::ByzBehavior::kFakePd;
-    attack.fake_pds[ProcessId(5)] = IdSet{ProcessId(6), ProcessId(7),
-                                          ProcessId(8)};
-    attack.sim.horizon = 300'000;
-    bench::print_row("attack, no guard", cup::run_scenario(attack));
-
-    cup::Scenario guarded = attack;
-    guarded.cupft_known_closure = true;
-    bench::print_row("attack, closure guard", cup::run_scenario(guarded));
-
-    cup::Scenario cost;
-    cost.graph = inst.graph;
-    cost.faulty = inst.faulty;
-    cost.mode = cup::Mode::kCupft;
-    cost.byz = cup::ByzBehavior::kSilent;
-    cost.cupft_known_closure = true;
-    cost.sim.horizon = 150'000;
-    bench::print_row("silent-byz, closure guard (cost)",
-                     cup::run_scenario(cost));
-  }
+  bench::print_row("attack, no guard",
+                   registry().run("fig4a/bridge-hiding-attack", 1));
+  bench::print_row("attack, closure guard",
+                   registry().run("fig4a/bridge-hiding-guarded", 1));
+  bench::print_row("silent-byz, closure guard (cost)",
+                   registry().run("fig4a/closure-guard-cost", 1));
 }
 
 void BM_Fig4CupftEndToEnd(benchmark::State& state) {
-  const auto inst =
-      state.range(0) == 0 ? graph::figures::fig4a() : graph::figures::fig4b();
+  const std::string name =
+      state.range(0) == 0 ? "fig4a/cupft-silent" : "fig4b/cupft-silent";
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    cup::Scenario s;
-    s.graph = inst.graph;
-    s.faulty = inst.faulty;
-    s.mode = cup::Mode::kCupft;
-    s.sim.seed = seed++;
-    const auto report = cup::run_scenario(s);
+    const auto report = registry().run(name, seed++);
     benchmark::DoNotOptimize(report.all_correct_decided);
     state.counters["sim_ticks"] =
         static_cast<double>(report.completion_time.value_or(-1));

@@ -1,14 +1,16 @@
 // Experiment T1 — Table I: the (im)possibility of solving Byzantine
 // consensus deterministically under different system models.
 //
-// Each cell is exercised by executable runs (N seeds). ✓ cells must report
+// Each cell is a registry scenario ("table1/<timing>/<knowledge>"); the
+// 9-cell x 5-seed sweep runs through BatchRunner. ✓ cells must report
 // SOLVED on every seed; ✗ cells must never decide within the horizon while
 // preserving Agreement (an executable witness consistent with FLP, not a
 // proof).
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "bench_util.hpp"
-#include "graph/figures.hpp"
 
 namespace {
 
@@ -19,71 +21,32 @@ enum class Knowledge { kKnownNKnownF, kUnknownNKnownF, kUnknownNUnknownF };
 /// Communication row.
 enum class Timing { kSync, kPartialSync, kAsync };
 
-cup::Scenario cell_scenario(Knowledge knowledge, Timing timing,
-                            std::uint64_t seed) {
-  cup::Scenario s;
-  switch (knowledge) {
-    case Knowledge::kKnownNKnownF: {
-      // Known membership: complete knowledge graph, known f -> the pipeline
-      // degenerates to PBFT among everyone.
-      auto inst = graph::figures::fig2a();  // K4, f=1, 4 silent
-      s.graph = inst.graph;
-      s.faulty = inst.faulty;
-      s.f = inst.f;
-      s.mode = cup::Mode::kAuth;
-      break;
-    }
-    case Knowledge::kUnknownNKnownF: {
-      auto inst = graph::figures::fig1b();  // BFT-CUP graph
-      s.graph = inst.graph;
-      s.faulty = inst.faulty;
-      s.f = inst.f;
-      s.mode = cup::Mode::kAuth;
-      break;
-    }
-    case Knowledge::kUnknownNUnknownF: {
-      auto inst = graph::figures::fig4a();  // BFT-CUPFT graph
-      s.graph = inst.graph;
-      s.faulty = inst.faulty;
-      s.mode = cup::Mode::kCupft;
-      break;
-    }
+const char* knowledge_key(Knowledge k) {
+  switch (k) {
+    case Knowledge::kKnownNKnownF:
+      return "known-n-known-f";
+    case Knowledge::kUnknownNKnownF:
+      return "unknown-n-known-f";
+    case Knowledge::kUnknownNUnknownF:
+      return "unknown-n-unknown-f";
   }
-  s.sim.seed = seed;
-  switch (timing) {
+  return "?";
+}
+
+const char* timing_key(Timing t) {
+  switch (t) {
     case Timing::kSync:
-      s.sim.net.gst = 0;  // bounded delays from the start
-      s.sim.net.delta = 5;
-      break;
+      return "sync";
     case Timing::kPartialSync:
-      s.sim.net.gst = 30'000;
-      s.sim.net.delta = 10;
-      break;
-    case Timing::kAsync: {
-      // No GST within any horizon; the adversary freezes the traffic of
-      // enough correct processes to starve every quorum (allowed in a truly
-      // asynchronous system, where "slow" and "crashed" are
-      // indistinguishable).
-      s.sim.net.gst = kSimTimeMax / 2;
-      s.sim.net.delta = 10;
-      s.sim.horizon = 400'000;
-      IdSet frozen;
-      // Freeze two correct processes (with f=1 Byzantine already silent, no
-      // quorum can assemble).
-      if (s.mode == cup::Mode::kCupft) {
-        frozen = {ProcessId(1), ProcessId(2)};
-      } else {
-        frozen = {ProcessId(1), ProcessId(2)};
-      }
-      s.make_policy = [frozen] {
-        return std::make_unique<sim::SlowSenderPolicy>(
-            std::make_unique<sim::RandomDelayPolicy>(), frozen,
-            /*release_at=*/kSimTimeMax / 2);
-      };
-      break;
-    }
+      return "partial-sync";
+    case Timing::kAsync:
+      return "async";
   }
-  return s;
+  return "?";
+}
+
+std::string cell_name(Knowledge k, Timing t) {
+  return std::string("table1/") + timing_key(t) + "/" + knowledge_key(k);
 }
 
 const char* knowledge_name(Knowledge k) {
@@ -113,23 +76,30 @@ const char* timing_name(Timing t) {
 void print_table1() {
   std::printf("\n=== T1: Table I — (im)possibility matrix ===\n");
   std::printf("    paper claim: all 9 cells solvable except the async row\n");
+
+  // All 9 cells x 5 seeds, hardware-parallel.
+  cup::Sweep sweep;
+  sweep.add_tag(cup::ScenarioRegistry::paper(), "table1").seeds(1, 5);
+  const cup::BatchReport report = cup::BatchRunner().run(sweep);
+
+  std::map<std::string, cup::ScenarioStats> by_name;
+  for (const auto& stats : report.scenarios()) {
+    by_name[stats.scenario] = stats;
+  }
+
   std::printf("%-24s %-22s %-10s %-28s\n", "communication", "knowledge",
               "expected", "measured (5 seeds)");
   for (Timing t : {Timing::kSync, Timing::kPartialSync, Timing::kAsync}) {
     for (Knowledge k :
          {Knowledge::kKnownNKnownF, Knowledge::kUnknownNKnownF,
           Knowledge::kUnknownNUnknownF}) {
-      std::size_t solved = 0, violated = 0;
-      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        const auto report = cup::run_scenario(cell_scenario(k, t, seed));
-        if (report.verdict() == "SOLVED") ++solved;
-        if (!report.agreement) ++violated;
-      }
+      const cup::ScenarioStats& stats = by_name.at(cell_name(k, t));
+      const std::size_t violated = stats.agreement_violations;
       const bool expected_solvable = t != Timing::kAsync;
       std::printf("%-24s %-22s %-10s solved=%zu/5 violations=%zu  %s\n",
                   timing_name(t), knowledge_name(k),
-                  expected_solvable ? "yes" : "no", solved, violated,
-                  (expected_solvable ? solved == 5 : solved == 0) &&
+                  expected_solvable ? "yes" : "no", stats.solved, violated,
+                  (expected_solvable ? stats.solved == 5 : stats.solved == 0) &&
                           violated == 0
                       ? "[matches]"
                       : "[MISMATCH]");
@@ -140,9 +110,10 @@ void print_table1() {
 void BM_Table1Cell(benchmark::State& state) {
   const auto knowledge = static_cast<Knowledge>(state.range(0));
   const auto timing = static_cast<Timing>(state.range(1));
+  const std::string name = cell_name(knowledge, timing);
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    const auto report = cup::run_scenario(cell_scenario(knowledge, timing, seed++));
+    const auto report = cup::ScenarioRegistry::paper().run(name, seed++);
     benchmark::DoNotOptimize(report.messages_sent);
     state.counters["sim_ticks"] =
         static_cast<double>(report.completion_time.value_or(-1));

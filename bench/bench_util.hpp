@@ -1,25 +1,23 @@
 // Shared helpers for the experiment harnesses.
+//
+// Row/header printing is routed through the BatchReport formatting in
+// cup/batch_runner.hpp, which uses <cinttypes> width-safe conversions
+// instead of per-call-site printf casts.
 #pragma once
 
 #include <cstdio>
 #include <string>
 
-#include "cup/runner.hpp"
+#include "cup/batch_runner.hpp"
 
 namespace bftcup::bench {
 
 inline void print_header(const char* experiment, const char* claim) {
-  std::printf("\n=== %s ===\n    paper claim: %s\n", experiment, claim);
-  std::printf("%-34s %-20s %10s %10s %12s\n", "scenario", "verdict",
-              "latency", "messages", "value");
+  cup::print_run_header(stdout, experiment, claim);
 }
 
-inline void print_row(const std::string& name, const cup::RunReport& r) {
-  std::printf("%-34s %-20s %10lld %10llu %12llu\n", name.c_str(),
-              r.verdict().c_str(),
-              static_cast<long long>(r.completion_time.value_or(-1)),
-              static_cast<unsigned long long>(r.messages_sent),
-              static_cast<unsigned long long>(r.common_value.value_or(0)));
+inline void print_row(const std::string& name, const cup::RunReport& report) {
+  cup::print_run_row(stdout, name, report);
 }
 
 }  // namespace bftcup::bench

@@ -4,44 +4,30 @@
 //
 // Demonstrates the known-f pipeline on a randomly generated BFT-CUP topology
 // with a Byzantine node inside the sink serving wrong decided values.
+#include <cinttypes>
 #include <cstdio>
 
-#include "cup/runner.hpp"
-#include "graph/generators.hpp"
+#include "cup/scenario_registry.hpp"
 #include "graph/osr.hpp"
 
 int main() {
   using namespace bftcup;
 
   for (std::size_t f = 1; f <= 2; ++f) {
-    Rng rng(17 * f + 1);
-    graph::generators::BftCupParams params;
-    params.f = f;
-    params.sink_size = 2 * f + 1 + f;
-    params.non_sink = 6;
-    params.byzantine_in_sink = f;
-    const auto sys = graph::generators::random_bft_cup(params, rng);
+    // The registry's "adhoc" family: random BFT-CUP topology, wrong-value
+    // Byzantine inside the sink, high GST (chaotic start-up).
+    const cup::Scenario scenario = cup::ScenarioRegistry::paper().make(
+        "adhoc/f" + std::to_string(f), 100 + f);
 
-    const auto check =
-        graph::check_bft_cup_requirements(sys.graph, sys.faulty, sys.f);
-
-    cup::Scenario scenario;
-    scenario.graph = sys.graph;
-    scenario.f = sys.f;
-    scenario.faulty = sys.faulty;
-    scenario.byz = cup::ByzBehavior::kWrongValue;  // lies about the decision
-    scenario.mode = cup::Mode::kAuth;
-    scenario.sim.seed = 100 + f;
-    scenario.sim.net.gst = 5'000;  // chaotic start-up phase
-    scenario.sim.net.delta = 20;
+    const auto check = graph::check_bft_cup_requirements(
+        scenario.graph, scenario.faulty, scenario.f);
 
     const auto report = cup::run_scenario(scenario);
-    std::printf(
-        "f=%zu  n=%zu  requirements=%s  verdict=%s  latency=%lld  msgs=%llu\n",
-        f, sys.graph.vertex_count(), check.satisfied ? "ok" : "VIOLATED",
-        report.verdict().c_str(),
-        static_cast<long long>(report.completion_time.value_or(-1)),
-        static_cast<unsigned long long>(report.messages_sent));
+    std::printf("f=%zu  n=%zu  requirements=%s  verdict=%s  latency=%" PRId64
+                "  msgs=%" PRIu64 "\n",
+                f, scenario.graph.vertex_count(),
+                check.satisfied ? "ok" : "VIOLATED", report.verdict().c_str(),
+                report.completion_time.value_or(-1), report.messages_sent);
     if (report.verdict() != "SOLVED") return 1;
   }
   return 0;

@@ -6,52 +6,38 @@
 // We build a committee of 5 validators (complete knowledge among them) and
 // 8 light participants arranged in a gossip ring, each bootstrapping from 3
 // validators. One validator is Byzantine and advertises a fake PD.
+#include <cinttypes>
 #include <cstdio>
 
-#include "cup/runner.hpp"
+#include "cup/scenario_registry.hpp"
 #include "graph/extended_osr.hpp"
-#include "graph/generators.hpp"
 
 int main() {
   using namespace bftcup;
 
-  Rng rng(2024);
-  graph::generators::CupftParams params;
-  params.f = 1;
-  params.core_size = 5;
-  params.periphery = 8;
-  params.byzantine_in_core = 1;
-  const auto sys = graph::generators::random_cupft(params, rng);
+  // The registry entry builds the whole setup: 5-validator committee,
+  // 8 light participants, one Byzantine validator with a fake PD, nobody
+  // told f, block-hash proposals per participant.
+  const cup::Scenario scenario =
+      cup::ScenarioRegistry::paper().make("blockchain/committee", 7);
 
   // Sanity: the generated topology satisfies the BFT-CUPFT requirements.
-  const auto check =
-      graph::check_bft_cupft_requirements(sys.graph, sys.faulty, sys.f);
+  const auto check = graph::check_bft_cupft_requirements(
+      scenario.graph, scenario.faulty, scenario.f);
   std::printf("BFT-CUPFT requirements: %s\n",
               check.satisfied ? "satisfied" : check.reason.c_str());
 
-  cup::Scenario scenario;
-  scenario.graph = sys.graph;
-  scenario.faulty = sys.faulty;          // Byzantine validator
-  scenario.byz = cup::ByzBehavior::kFakePd;
-  scenario.mode = cup::Mode::kCupft;     // nobody knows f!
-  scenario.sim.seed = 7;
-
-  // Each participant proposes its preferred block hash (toy values).
-  for (ProcessId id : sys.graph.vertices()) {
-    scenario.proposals[id] = 0xb10c0000 + id.raw();
-  }
-
   const auto report = cup::run_scenario(scenario);
+
   std::printf("verdict       : %s\n", report.verdict().c_str());
-  std::printf("agreed block  : %#llx\n",
-              static_cast<unsigned long long>(report.common_value.value_or(0)));
+  std::printf("agreed block  : %#" PRIx64 "\n",
+              report.common_value.value_or(0));
 
   std::printf("validator committee discovered by each participant:\n");
   for (const auto& [who, members] : report.memberships) {
     std::printf("  %-5s -> {", to_string(who).c_str());
     for (ProcessId m : members) std::printf(" %s", to_string(m).c_str());
-    std::printf(" } at t=%lld\n",
-                static_cast<long long>(report.membership_times.at(who)));
+    std::printf(" } at t=%" PRId64 "\n", report.membership_times.at(who));
   }
   return report.verdict() == "SOLVED" ? 0 : 1;
 }

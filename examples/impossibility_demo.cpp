@@ -1,41 +1,28 @@
 // Theorem 7, live: why BFT-CUP graphs are NOT enough when f is unknown.
 //
-// Runs the naive unknown-f protocol on the proof's three systems:
+// Runs the naive unknown-f protocol on the proof's three systems (all
+// registry scenarios):
 //   A  (Fig. 2a): {1..4}, 4 silent        -> decides v
 //   B  (Fig. 2b): {5..8}, 5 silent        -> decides u
 //   AB (Fig. 2c): all correct, bridge slow -> A-half decides v, B-half u:
 //                                             AGREEMENT VIOLATED
 // then the fixed BFT-CUPFT protocol on AB (waits — safety preserved) and on
 // Fig. 4a (solves — the graph the extended model requires).
+#include <cinttypes>
 #include <cstdio>
 
-#include "cup/runner.hpp"
-#include "graph/figures.hpp"
+#include "cup/scenario_registry.hpp"
 
 namespace {
 
 using namespace bftcup;
-
-constexpr Value kV = 111;
-constexpr Value kU = 222;
-
-cup::Scenario make(const graph::figures::Instance& inst, cup::Mode mode) {
-  cup::Scenario s;
-  s.graph = inst.graph;
-  s.faulty = inst.faulty;
-  s.f = inst.f;
-  s.mode = mode;
-  s.sim.seed = 9;
-  return s;
-}
 
 void print(const char* name, const cup::RunReport& r) {
   std::printf("%-28s -> %-19s", name, r.verdict().c_str());
   if (!r.decisions.empty()) {
     std::printf(" decisions:");
     for (const auto& [who, d] : r.decisions) {
-      std::printf(" %s=%llu", to_string(who).c_str(),
-                  static_cast<unsigned long long>(d.value));
+      std::printf(" %s=%" PRIu64, to_string(who).c_str(), d.value);
     }
   }
   std::printf("\n");
@@ -44,45 +31,14 @@ void print(const char* name, const cup::RunReport& r) {
 }  // namespace
 
 int main() {
-  using graph::figures::fig2a;
-  using graph::figures::fig2b;
-  using graph::figures::fig2c;
-  using graph::figures::fig4a;
+  const auto& registry = cup::ScenarioRegistry::paper();
 
-  {
-    cup::Scenario s = make(fig2a(), cup::Mode::kNaive);
-    for (std::uint64_t id = 1; id <= 4; ++id) s.proposals[ProcessId(id)] = kV;
-    print("system A (naive)", cup::run_scenario(s));
-  }
-  {
-    cup::Scenario s = make(fig2b(), cup::Mode::kNaive);
-    for (std::uint64_t id = 5; id <= 8; ++id) s.proposals[ProcessId(id)] = kU;
-    print("system B (naive)", cup::run_scenario(s));
-  }
+  print("system A (naive)", registry.run("fig2/system-a-naive", 9));
+  print("system B (naive)", registry.run("fig2/system-b-naive", 9));
+  print("system AB (naive)", registry.run("fig2/system-ab-naive", 9));
+  print("system AB (BFT-CUPFT)", registry.run("fig2/system-ab-cupft", 9));
+  print("fig. 4a (BFT-CUPFT)", registry.run("fig4a/cupft-silent", 9));
 
-  auto ab = [](cup::Mode mode) {
-    cup::Scenario s = make(fig2c(), mode);
-    for (std::uint64_t id = 1; id <= 4; ++id) s.proposals[ProcessId(id)] = kV;
-    for (std::uint64_t id = 5; id <= 8; ++id) s.proposals[ProcessId(id)] = kU;
-    s.sim.net.gst = 800'000;
-    s.sim.horizon = mode == cup::Mode::kNaive ? 1'000'000 : 150'000;
-    s.make_policy = [] {
-      IdSet a, b;
-      for (std::uint64_t id = 1; id <= 4; ++id) a.insert(ProcessId(id));
-      for (std::uint64_t id = 5; id <= 8; ++id) b.insert(ProcessId(id));
-      return std::make_unique<sim::GroupStretchPolicy>(
-          std::make_unique<sim::RandomDelayPolicy>(), a, b, 700'000);
-    };
-    return s;
-  };
-
-  print("system AB (naive)", cup::run_scenario(ab(cup::Mode::kNaive)));
-  print("system AB (BFT-CUPFT)", cup::run_scenario(ab(cup::Mode::kCupft)));
-
-  {
-    cup::Scenario s = make(fig4a(), cup::Mode::kCupft);
-    print("fig. 4a (BFT-CUPFT)", cup::run_scenario(s));
-  }
   std::printf(
       "\nTakeaway: without f, BFT-CUP-grade knowledge lets disjoint groups\n"
       "decide independently; the extended (core-based) graphs of BFT-CUPFT\n"

@@ -5,38 +5,34 @@
 // silent. Everyone knows the fault threshold f = 1 (the authenticated
 // BFT-CUP model, Section III). Build & run:
 //
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/quickstart
+#include <cinttypes>
 #include <cstdio>
 
-#include "cup/runner.hpp"
-#include "graph/figures.hpp"
+#include "cup/scenario_registry.hpp"
 #include "graph/graphio.hpp"
 
 int main() {
   using namespace bftcup;
 
-  const auto fig = graph::figures::fig1b();
-  std::printf("Knowledge connectivity graph (Fig. 1b):\n%s\n",
-              graph::io::to_dot(fig.graph, fig.faulty).c_str());
+  // The registry entry carries the whole configuration: Fig. 1b's graph,
+  // the silent Byzantine 4, and f = 1 told to every process (Mode::kAuth).
+  const cup::Scenario scenario =
+      cup::ScenarioRegistry::paper().make("quickstart/fig1b-auth", 42);
 
-  cup::Scenario scenario;
-  scenario.graph = fig.graph;
-  scenario.f = fig.f;            // every process is told f = 1
-  scenario.faulty = fig.faulty;  // participant 4 stays silent
-  scenario.mode = cup::Mode::kAuth;
-  scenario.sim.seed = 42;
+  std::printf("Knowledge connectivity graph (Fig. 1b):\n%s\n",
+              graph::io::to_dot(scenario.graph, scenario.faulty).c_str());
 
   const cup::RunReport report = cup::run_scenario(scenario);
 
   std::printf("verdict        : %s\n", report.verdict().c_str());
-  std::printf("decided value  : %llu\n",
-              static_cast<unsigned long long>(report.common_value.value_or(0)));
-  std::printf("decision time  : %lld ticks\n",
-              static_cast<long long>(report.completion_time.value_or(-1)));
-  std::printf("messages sent  : %llu (%llu bytes)\n",
-              static_cast<unsigned long long>(report.messages_sent),
-              static_cast<unsigned long long>(report.bytes_sent));
+  std::printf("decided value  : %" PRIu64 "\n",
+              report.common_value.value_or(0));
+  std::printf("decision time  : %" PRId64 " ticks\n",
+              report.completion_time.value_or(-1));
+  std::printf("messages sent  : %" PRIu64 " (%" PRIu64 " bytes)\n",
+              report.messages_sent, report.bytes_sent);
   for (const auto& [who, members] : report.memberships) {
     std::printf("%s discovered the sink {", to_string(who).c_str());
     for (ProcessId m : members) std::printf(" %s", to_string(m).c_str());

@@ -1,6 +1,7 @@
 #include "common/logging.hpp"
 
 #include <iostream>
+#include <mutex>
 
 #include "common/ids.hpp"
 
@@ -37,6 +38,9 @@ Logger& Logger::instance() {
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view message) {
   if (!enabled(level) || sink_ == nullptr) return;
+  // The sink is shared by every simulator; BatchRunner runs them on a pool.
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
   (*sink_) << "[" << level_name(level) << "] " << component << ": " << message
            << '\n';
 }

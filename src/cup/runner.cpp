@@ -1,11 +1,27 @@
 #include "cup/runner.hpp"
 
 #include "adversary/behaviors.hpp"
+#include "common/hex.hpp"
+#include "crypto/sha256.hpp"
 #include "cup/cupft_node.hpp"
 #include "cup/naive_node.hpp"
 #include "cup/node.hpp"
 
 namespace bftcup::cup {
+namespace {
+
+void append_u64(Bytes& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void append_id_set(Bytes& out, const IdSet& ids) {
+  append_u64(out, ids.size());
+  for (ProcessId id : ids) append_u64(out, id.raw());
+}
+
+}  // namespace
 
 Value default_proposal(ProcessId id) {
   return 1000 + id.raw();
@@ -16,6 +32,36 @@ std::string RunReport::verdict() const {
   if (!validity) return "VALIDITY-VIOLATED";
   if (!all_correct_decided) return "NO-TERMINATION";
   return "SOLVED";
+}
+
+std::string RunReport::digest() const {
+  Bytes bytes;
+  append_id_set(bytes, correct);
+  append_u64(bytes, static_cast<std::uint64_t>(all_correct_decided) |
+                        static_cast<std::uint64_t>(agreement) << 1 |
+                        static_cast<std::uint64_t>(validity) << 2);
+  append_u64(bytes, common_value.value_or(kNoValue));
+  append_u64(bytes, static_cast<std::uint64_t>(completion_time.value_or(-1)));
+  append_u64(bytes, messages_sent);
+  append_u64(bytes, messages_delivered);
+  append_u64(bytes, bytes_sent);
+  append_u64(bytes, decisions.size());
+  for (const auto& [who, decision] : decisions) {
+    append_u64(bytes, who.raw());
+    append_u64(bytes, decision.value);
+    append_u64(bytes, static_cast<std::uint64_t>(decision.time));
+  }
+  append_u64(bytes, memberships.size());
+  for (const auto& [who, members] : memberships) {
+    append_u64(bytes, who.raw());
+    append_id_set(bytes, members);
+  }
+  append_u64(bytes, membership_times.size());
+  for (const auto& [who, time] : membership_times) {
+    append_u64(bytes, who.raw());
+    append_u64(bytes, static_cast<std::uint64_t>(time));
+  }
+  return to_hex(crypto::digest_bytes(crypto::sha256(bytes)));
 }
 
 RunReport run_scenario(const Scenario& scenario) {

@@ -67,6 +67,12 @@ struct RunReport {
 
   /// One-line verdict for experiment tables.
   [[nodiscard]] std::string verdict() const;
+
+  /// Hex SHA-256 over every field, in a fixed serialization order. Two runs
+  /// of the same (scenario, seed) must produce equal digests regardless of
+  /// which thread executed them — the bit-replay guarantee BatchRunner
+  /// asserts.
+  [[nodiscard]] std::string digest() const;
 };
 
 [[nodiscard]] RunReport run_scenario(const Scenario& scenario);

@@ -1,0 +1,189 @@
+#include "cup/scenario_builder.hpp"
+
+#include <utility>
+
+namespace bftcup::cup {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw ScenarioError("ScenarioBuilder: " + what);
+}
+
+}  // namespace
+
+ScenarioBuilder::ScenarioBuilder(graph::Digraph g) {
+  scenario_.graph = std::move(g);
+}
+
+ScenarioBuilder::ScenarioBuilder(const graph::figures::Instance& instance) {
+  scenario_.graph = instance.graph;
+  scenario_.faulty = instance.faulty;
+  scenario_.f = instance.f;
+}
+
+ScenarioBuilder::ScenarioBuilder(
+    const graph::generators::GeneratedSystem& system) {
+  scenario_.graph = system.graph;
+  scenario_.faulty = system.faulty;
+  scenario_.f = system.f;
+}
+
+ScenarioBuilder& ScenarioBuilder::graph(graph::Digraph g) {
+  scenario_.graph = std::move(g);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::mode(Mode mode) {
+  scenario_.mode = mode;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::byz(ByzBehavior behavior) {
+  scenario_.byz = behavior;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::faulty(IdSet ids) {
+  scenario_.faulty = std::move(ids);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::faulty(
+    std::initializer_list<std::uint64_t> raw_ids) {
+  IdSet ids;
+  for (std::uint64_t raw : raw_ids) ids.insert(ProcessId(raw));
+  scenario_.faulty = std::move(ids);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::f(std::size_t f) {
+  scenario_.f = f;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t seed) {
+  scenario_.sim.seed = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::gst(SimTime gst) {
+  scenario_.sim.net.gst = gst;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::delta(SimTime delta) {
+  scenario_.sim.net.delta = delta;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::horizon(SimTime horizon) {
+  scenario_.sim.horizon = horizon;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::proposal(ProcessId id, Value value) {
+  scenario_.proposals[id] = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::propose_range(std::uint64_t first,
+                                                std::uint64_t last,
+                                                Value value) {
+  for (std::uint64_t raw = first; raw <= last; ++raw) {
+    scenario_.proposals[ProcessId(raw)] = value;
+  }
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::fake_pd(ProcessId id, IdSet advertised) {
+  scenario_.fake_pds[id] = std::move(advertised);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::discovery_period(SimTime period) {
+  scenario_.discovery_period = period;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::pbft_base_timeout(SimTime timeout) {
+  scenario_.pbft_base_timeout = timeout;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::delay_policy(
+    std::function<std::unique_ptr<sim::DelayPolicy>()> make) {
+  scenario_.make_policy = std::move(make);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::search(
+    std::shared_ptr<const protocol::SinkSearch> search) {
+  scenario_.search = std::move(search);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::closure_guard(bool enabled) {
+  scenario_.cupft_known_closure = enabled;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::allow_premise_violation(bool allowed) {
+  allow_premise_violation_ = allowed;
+  return *this;
+}
+
+Scenario ScenarioBuilder::build() const {
+  const Scenario& s = scenario_;
+  if (s.graph.vertex_count() == 0) {
+    fail("the knowledge connectivity graph has no vertices");
+  }
+  const IdSet vertices = s.graph.vertices();
+  if (!s.faulty.is_subset_of(vertices)) {
+    for (ProcessId id : s.faulty) {
+      if (!vertices.contains(id)) {
+        fail("faulty process " + to_string(id) + " is not a graph vertex");
+      }
+    }
+  }
+  if (s.f >= s.graph.vertex_count()) {
+    fail("f = " + std::to_string(s.f) + " is not consistent with a " +
+         std::to_string(s.graph.vertex_count()) + "-process graph");
+  }
+  if (s.mode == Mode::kAuth && s.faulty.size() > s.f &&
+      !allow_premise_violation_) {
+    fail("|faulty| = " + std::to_string(s.faulty.size()) +
+         " exceeds f = " + std::to_string(s.f) +
+         " in known-f mode; call allow_premise_violation() if this witness "
+         "scenario is intentional");
+  }
+  for (const auto& [id, value] : s.proposals) {
+    (void)value;
+    if (!vertices.contains(id)) {
+      fail("proposal for " + to_string(id) + ", which is not a graph vertex");
+    }
+  }
+  // Fake PD *members* are deliberately unvalidated: advertising ghost
+  // processes that do not exist is a real attack (Sybil resistance means
+  // they cannot answer, not that they cannot be named).
+  for (const auto& [id, pd] : s.fake_pds) {
+    (void)pd;
+    if (!s.faulty.contains(id)) {
+      fail("fake PD for " + to_string(id) + ", which is not faulty");
+    }
+  }
+  if (!s.fake_pds.empty() && s.byz != ByzBehavior::kFakePd) {
+    fail("fake PDs are set but the Byzantine behavior is not kFakePd");
+  }
+  if (s.discovery_period <= 0) fail("discovery_period must be positive");
+  if (s.pbft_base_timeout <= 0) fail("pbft_base_timeout must be positive");
+  if (s.sim.horizon <= 0) fail("horizon must be positive");
+  if (s.sim.net.delta <= 0) fail("delta must be positive");
+  if (s.sim.net.gst < 0) fail("gst must be non-negative");
+  return scenario_;
+}
+
+RunReport ScenarioBuilder::run() const {
+  return run_scenario(build());
+}
+
+}  // namespace bftcup::cup

@@ -1,0 +1,89 @@
+// Fluent, validating construction of `Scenario`.
+//
+// The raw `Scenario` struct stays the runner's wire format, but everything
+// outside src/cup/ assembles one through this builder:
+//
+//   const auto report = ScenarioBuilder(graph::figures::fig1b())
+//                           .mode(Mode::kAuth)
+//                           .byz(ByzBehavior::kFakePd)
+//                           .fake_pd(ProcessId(4), {ProcessId(1)})
+//                           .seed(7)
+//                           .run();
+//
+// build() validates the assembled configuration (faulty ⊆ vertices, f
+// consistent with the graph, proposals/fake PDs keyed by real processes,
+// positive periods) and throws `ScenarioError` instead of letting a typo'd
+// experiment silently measure the wrong system.
+#pragma once
+
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+#include "cup/runner.hpp"
+#include "graph/figures.hpp"
+#include "graph/generators.hpp"
+
+namespace bftcup::cup {
+
+/// Thrown by ScenarioBuilder::build() on an inconsistent configuration.
+class ScenarioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+
+  /// Start from a bare knowledge connectivity graph (no faults).
+  explicit ScenarioBuilder(graph::Digraph g);
+
+  /// Start from a paper figure: graph + ground-truth faulty set + f.
+  explicit ScenarioBuilder(const graph::figures::Instance& instance);
+
+  /// Start from a generated system: graph + faulty set + f.
+  explicit ScenarioBuilder(const graph::generators::GeneratedSystem& system);
+
+  ScenarioBuilder& graph(graph::Digraph g);
+  ScenarioBuilder& mode(Mode mode);
+  ScenarioBuilder& byz(ByzBehavior behavior);
+  ScenarioBuilder& faulty(IdSet ids);
+  ScenarioBuilder& faulty(std::initializer_list<std::uint64_t> raw_ids);
+  ScenarioBuilder& f(std::size_t f);
+
+  ScenarioBuilder& seed(std::uint64_t seed);
+  ScenarioBuilder& gst(SimTime gst);
+  ScenarioBuilder& delta(SimTime delta);
+  ScenarioBuilder& horizon(SimTime horizon);
+
+  ScenarioBuilder& proposal(ProcessId id, Value value);
+  /// Every process with raw id in [first, last] proposes `value` (the
+  /// Theorem 7 experiments give each half of the system one value).
+  ScenarioBuilder& propose_range(std::uint64_t first, std::uint64_t last,
+                                 Value value);
+  ScenarioBuilder& fake_pd(ProcessId id, IdSet advertised);
+
+  ScenarioBuilder& discovery_period(SimTime period);
+  ScenarioBuilder& pbft_base_timeout(SimTime timeout);
+  ScenarioBuilder& delay_policy(
+      std::function<std::unique_ptr<sim::DelayPolicy>()> make);
+  ScenarioBuilder& search(std::shared_ptr<const protocol::SinkSearch> search);
+  ScenarioBuilder& closure_guard(bool enabled = true);
+
+  /// Witness scenarios (fig. 1a, Theorem 7) intentionally violate the
+  /// protocol premise |faulty| <= f; they must say so explicitly.
+  ScenarioBuilder& allow_premise_violation(bool allowed = true);
+
+  /// Validates and returns the assembled scenario. Throws ScenarioError.
+  [[nodiscard]] Scenario build() const;
+
+  /// build() + run_scenario(), the common one-shot path.
+  [[nodiscard]] RunReport run() const;
+
+ private:
+  Scenario scenario_;
+  bool allow_premise_violation_ = false;
+};
+
+}  // namespace bftcup::cup

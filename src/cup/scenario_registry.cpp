@@ -1,0 +1,470 @@
+#include "cup/scenario_registry.hpp"
+
+#include <utility>
+
+#include "sim/network.hpp"
+
+namespace bftcup::cup {
+namespace {
+
+using graph::figures::Instance;
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+// Theorem 7 experiment values: system A proposes v, system B proposes u.
+constexpr Value kTheorem7V = 111;
+constexpr Value kTheorem7U = 222;
+
+/// The Theorem 7 "system AB" schedule: intra-group traffic is fast,
+/// bridge traffic is stretched until both halves have decided.
+std::function<std::unique_ptr<sim::DelayPolicy>()> ab_stretch_policy() {
+  return [] {
+    IdSet a, b;
+    for (std::uint64_t id = 1; id <= 4; ++id) a.insert(p(id));
+    for (std::uint64_t id = 5; id <= 8; ++id) b.insert(p(id));
+    return std::make_unique<sim::GroupStretchPolicy>(
+        std::make_unique<sim::RandomDelayPolicy>(), a, b, 700'000);
+  };
+}
+
+ScenarioBuilder ab_base(Mode mode, std::uint64_t seed) {
+  return ScenarioBuilder(graph::figures::fig2c())
+      .mode(mode)
+      .seed(seed)
+      .gst(800'000)
+      .horizon(mode == Mode::kNaive ? 1'000'000 : 150'000)
+      .propose_range(1, 4, kTheorem7V)
+      .propose_range(5, 8, kTheorem7U)
+      .delay_policy(ab_stretch_policy());
+}
+
+void register_table1(ScenarioRegistry& registry) {
+  struct Cell {
+    const char* knowledge;
+    Instance (*instance)();
+    Mode mode;
+  };
+  const Cell cells[] = {
+      // Known membership: complete graph, known f -> degenerates to PBFT.
+      {"known-n-known-f", graph::figures::fig2a, Mode::kAuth},
+      {"unknown-n-known-f", graph::figures::fig1b, Mode::kAuth},
+      {"unknown-n-unknown-f", graph::figures::fig4a, Mode::kCupft},
+  };
+  for (const Cell& cell : cells) {
+    registry.add({std::string("table1/sync/") + cell.knowledge,
+                  "Table I, synchronous row: bounded delays from t=0; "
+                  "consensus solvable",
+                  {"table1", "sync", cell.knowledge},
+                  [cell](std::uint64_t seed) {
+                    return ScenarioBuilder(cell.instance())
+                        .mode(cell.mode)
+                        .seed(seed)
+                        .gst(0)
+                        .delta(5);
+                  }});
+    registry.add({std::string("table1/partial-sync/") + cell.knowledge,
+                  "Table I, partially synchronous row: GST exists; "
+                  "consensus solvable",
+                  {"table1", "partial-sync", cell.knowledge},
+                  [cell](std::uint64_t seed) {
+                    return ScenarioBuilder(cell.instance())
+                        .mode(cell.mode)
+                        .seed(seed)
+                        .gst(30'000)
+                        .delta(10);
+                  }});
+    registry.add(
+        {std::string("table1/async/") + cell.knowledge,
+         "Table I, asynchronous row: no GST within the horizon, two correct "
+         "processes starved; must not decide (FLP witness)",
+         {"table1", "async", cell.knowledge},
+         [cell](std::uint64_t seed) {
+           // The adversary freezes the traffic of enough correct processes
+           // to starve every quorum — allowed in a truly asynchronous
+           // system, where "slow" and "crashed" are indistinguishable.
+           const IdSet frozen{p(1), p(2)};
+           return ScenarioBuilder(cell.instance())
+               .mode(cell.mode)
+               .seed(seed)
+               .gst(kSimTimeMax / 2)
+               .delta(10)
+               .horizon(400'000)
+               .delay_policy([frozen] {
+                 return std::make_unique<sim::SlowSenderPolicy>(
+                     std::make_unique<sim::RandomDelayPolicy>(), frozen,
+                     /*release_at=*/kSimTimeMax / 2);
+               });
+         }});
+  }
+}
+
+void register_fig1(ScenarioRegistry& registry) {
+  registry.add({"fig1a/silent",
+                "Fig. 1a: fails the BFT-CUP requirements; with 4 silent the "
+                "remaining processes cannot terminate",
+                {"fig1", "auth", "witness"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1a())
+                      .mode(Mode::kAuth)
+                      .seed(seed)
+                      .horizon(150'000);
+                }});
+  registry.add({"fig1b/silent",
+                "Fig. 1b: satisfies BFT-CUP with f=1; solvable although the "
+                "Byzantine 4 never speaks",
+                {"fig1", "auth"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1b())
+                      .mode(Mode::kAuth)
+                      .seed(seed)
+                      .horizon(2'000'000);
+                }});
+  registry.add({"fig1b/fake-pd",
+                "Fig. 1b: Byzantine 4 advertises the fake PD {1,2,3}; "
+                "solvable regardless",
+                {"fig1", "auth", "byz"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1b())
+                      .mode(Mode::kAuth)
+                      .byz(ByzBehavior::kFakePd)
+                      .fake_pd(p(4), {p(1), p(2), p(3)})
+                      .seed(seed)
+                      .horizon(2'000'000);
+                }});
+  registry.add({"fig1b/wrong-value",
+                "Fig. 1b: Byzantine 4 serves a bogus DECIDEDVAL; validity "
+                "must hold anyway",
+                {"fig1", "auth", "byz"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1b())
+                      .mode(Mode::kAuth)
+                      .byz(ByzBehavior::kWrongValue)
+                      .seed(seed)
+                      .horizon(2'000'000);
+                }});
+}
+
+void register_fig2(ScenarioRegistry& registry) {
+  registry.add({"fig2/system-a-naive",
+                "Theorem 7 system A (Fig. 2a): naive unknown-f decides v",
+                {"fig2", "theorem7", "naive", "witness"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig2a())
+                      .mode(Mode::kNaive)
+                      .seed(seed)
+                      .propose_range(1, 4, kTheorem7V);
+                }});
+  registry.add({"fig2/system-b-naive",
+                "Theorem 7 system B (Fig. 2b): naive unknown-f decides u",
+                {"fig2", "theorem7", "naive", "witness"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig2b())
+                      .mode(Mode::kNaive)
+                      .seed(seed)
+                      .propose_range(5, 8, kTheorem7U);
+                }});
+  registry.add({"fig2/system-ab-naive",
+                "Theorem 7 system AB (Fig. 2c): slow bridge splits the naive "
+                "protocol into two deciding halves — Agreement violated",
+                {"fig2", "theorem7", "naive", "witness"},
+                [](std::uint64_t seed) { return ab_base(Mode::kNaive, seed); }});
+  registry.add({"fig2/system-ab-cupft",
+                "Theorem 7 system AB under BFT-CUPFT: waits instead of "
+                "splitting; safety preserved at the cost of liveness",
+                {"fig2", "theorem7", "cupft"},
+                [](std::uint64_t seed) { return ab_base(Mode::kCupft, seed); }});
+}
+
+void register_fig3(ScenarioRegistry& registry) {
+  registry.add({"fig3a/auth",
+                "Fig. 3a with the true f=1: all processes settle on the real "
+                "sink {5,7,8}",
+                {"fig3", "auth"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig3a())
+                      .mode(Mode::kAuth)
+                      .seed(seed);
+                }});
+  registry.add({"fig3a/cupft",
+                "Fig. 3a, f unknown: tie at k=2 (Observation 1), must not "
+                "decide",
+                {"fig3", "cupft", "witness"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig3a())
+                      .mode(Mode::kCupft)
+                      .seed(seed)
+                      .horizon(150'000);
+                }});
+  registry.add({"fig3b/auth",
+                "Fig. 3b with the true f=2: solvable",
+                {"fig3", "auth"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig3b())
+                      .mode(Mode::kAuth)
+                      .seed(seed);
+                }});
+  registry.add({"fig3b/cupft",
+                "Fig. 3b, f unknown: the 3-OSR sink dominates; solvable",
+                {"fig3", "cupft"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig3b())
+                      .mode(Mode::kCupft)
+                      .seed(seed);
+                }});
+}
+
+void register_fig4(ScenarioRegistry& registry) {
+  struct Fig4 {
+    const char* prefix;
+    Instance (*instance)();
+  };
+  for (const Fig4& fig :
+       {Fig4{"fig4a", graph::figures::fig4a},
+        Fig4{"fig4b", graph::figures::fig4b}}) {
+    registry.add({std::string(fig.prefix) + "/cupft-silent",
+                  "Fig. 4: BFT-CUPFT requirements hold; the Core algorithm "
+                  "discovers the core and consensus solves without f",
+                  {"fig4", "cupft"},
+                  [fig](std::uint64_t seed) {
+                    return ScenarioBuilder(fig.instance())
+                        .mode(Mode::kCupft)
+                        .seed(seed);
+                  }});
+    registry.add({std::string(fig.prefix) + "/cupft-fake-pd",
+                  "Fig. 4 with the Byzantine member advertising a fake PD; "
+                  "still solvable",
+                  {"fig4", "cupft", "byz"},
+                  [fig](std::uint64_t seed) {
+                    return ScenarioBuilder(fig.instance())
+                        .mode(Mode::kCupft)
+                        .byz(ByzBehavior::kFakePd)
+                        .seed(seed);
+                  }});
+  }
+  registry.add({"fig4a/bridge-hiding-attack",
+                "Bridge-hiding fake-PD attack on Fig. 4a (DESIGN.md 4.6 "
+                "finding 3): 5 advertises {6,7,8} to hide the bridge",
+                {"fig4", "cupft", "byz", "attack"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig4a())
+                      .mode(Mode::kCupft)
+                      .byz(ByzBehavior::kFakePd)
+                      .fake_pd(p(5), {p(6), p(7), p(8)})
+                      .seed(seed)
+                      .horizon(300'000);
+                }});
+  registry.add({"fig4a/bridge-hiding-guarded",
+                "The same attack with the knowledge-closure guard enabled",
+                {"fig4", "cupft", "byz", "attack"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig4a())
+                      .mode(Mode::kCupft)
+                      .byz(ByzBehavior::kFakePd)
+                      .fake_pd(p(5), {p(6), p(7), p(8)})
+                      .closure_guard()
+                      .seed(seed)
+                      .horizon(300'000);
+                }});
+  registry.add({"fig4a/closure-guard-cost",
+                "Closure guard on a benign run of Fig. 4a (latency cost of "
+                "the guard)",
+                {"fig4", "cupft"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig4a())
+                      .mode(Mode::kCupft)
+                      .closure_guard()
+                      .seed(seed)
+                      .horizon(150'000);
+                }});
+}
+
+void register_generated(ScenarioRegistry& registry) {
+  registry.add({"quickstart/fig1b-auth",
+                "The README quickstart: Fig. 1b, everyone told f=1, "
+                "Byzantine 4 silent",
+                {"quickstart", "fig1", "auth"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1b())
+                      .mode(Mode::kAuth)
+                      .seed(seed);
+                }});
+  for (std::size_t f : {std::size_t{1}, std::size_t{2}}) {
+    registry.add(
+        {"adhoc/f" + std::to_string(f),
+         "Self-organizing ad-hoc network: random BFT-CUP topology, "
+         "wrong-value Byzantine inside the sink, chaotic start-up",
+         {"adhoc", "generated", "auth"},
+         [f](std::uint64_t seed) {
+           Rng rng(17 * f + 1);  // fixed topology; `seed` drives the schedule
+           graph::generators::BftCupParams params;
+           params.f = f;
+           params.sink_size = 2 * f + 1 + f;
+           params.non_sink = 6;
+           params.byzantine_in_sink = f;
+           return ScenarioBuilder(
+                      graph::generators::random_bft_cup(params, rng))
+               .mode(Mode::kAuth)
+               .byz(ByzBehavior::kWrongValue)
+               .seed(seed)
+               .gst(5'000)
+               .delta(20);
+         }});
+  }
+  registry.add(
+      {"blockchain/committee",
+       "Validator committee of 5 discoverable by 8 light participants; "
+       "nobody knows f; one validator advertises a fake PD",
+       {"blockchain", "generated", "cupft"},
+       [](std::uint64_t seed) {
+         Rng rng(2024);
+         graph::generators::CupftParams params;
+         params.f = 1;
+         params.core_size = 5;
+         params.periphery = 8;
+         params.byzantine_in_core = 1;
+         const auto system = graph::generators::random_cupft(params, rng);
+         ScenarioBuilder builder =
+             ScenarioBuilder(system)
+                 .mode(Mode::kCupft)
+                 .byz(ByzBehavior::kFakePd)
+                 .seed(seed);
+         // Each participant proposes its preferred block hash (toy values).
+         for (ProcessId id : system.graph.vertices()) {
+           builder.proposal(id, 0xb10c0000 + id.raw());
+         }
+         return builder;
+       }});
+  // The "price of not knowing f" family (experiment P3): identical
+  // generated topologies run in known-f and unknown-f modes.
+  for (std::size_t core : {std::size_t{5}, std::size_t{7}}) {
+    for (std::size_t periphery :
+         {std::size_t{3}, std::size_t{6}, std::size_t{10}}) {
+      for (Mode mode : {Mode::kAuth, Mode::kCupft}) {
+        const std::string name =
+            "price-of-f/core" + std::to_string(core) + "-peri" +
+            std::to_string(periphery) +
+            (mode == Mode::kAuth ? "/auth" : "/cupft");
+        registry.add(
+            {name,
+             "AuthCup (known f) vs CUPFT (unknown f) on the same random "
+             "BFT-CUPFT-compatible topology",
+             {"price-of-f", "generated",
+              mode == Mode::kAuth ? "auth" : "cupft"},
+             [core, periphery, mode](std::uint64_t seed) {
+               Rng rng(11);  // fixed topology shared by both modes
+               graph::generators::CupftParams params;
+               params.f = 1;
+               params.core_size = core;
+               params.periphery = periphery;
+               params.byzantine_in_core = 1;
+               return ScenarioBuilder(
+                          graph::generators::random_cupft(params, rng))
+                   .mode(mode)
+                   .seed(seed);
+             }});
+      }
+    }
+  }
+}
+
+ScenarioRegistry build_paper_registry() {
+  ScenarioRegistry registry;
+  register_table1(registry);
+  register_fig1(registry);
+  register_fig2(registry);
+  register_fig3(registry);
+  register_fig4(registry);
+  register_generated(registry);
+  return registry;
+}
+
+}  // namespace
+
+namespace detail {
+
+void validate_scenario_name(const std::string& name) {
+  if (name.empty()) {
+    throw ScenarioError("scenario names must be non-empty");
+  }
+  for (char c : name) {
+    if (c == ',' || c == '"' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      throw ScenarioError(
+          "scenario name \"" + name +
+          "\" contains a character that breaks the CSV/JSON round-trip "
+          "(comma, quote, backslash, or control character)");
+    }
+  }
+}
+
+}  // namespace detail
+
+const ScenarioRegistry& ScenarioRegistry::paper() {
+  static const ScenarioRegistry registry = build_paper_registry();
+  return registry;
+}
+
+void ScenarioRegistry::add(Entry entry) {
+  detail::validate_scenario_name(entry.name);
+  if (entries_.contains(entry.name)) {
+    throw ScenarioError("ScenarioRegistry: duplicate scenario \"" +
+                        entry.name + "\"");
+  }
+  std::string name = entry.name;
+  entries_.emplace(std::move(name), std::move(entry));
+}
+
+const ScenarioRegistry::Entry* ScenarioRegistry::find(
+    std::string_view name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool ScenarioRegistry::contains(std::string_view name) const {
+  return entries_.contains(name);
+}
+
+ScenarioBuilder ScenarioRegistry::builder(std::string_view name,
+                                          std::uint64_t seed) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    throw ScenarioError("ScenarioRegistry: unknown scenario \"" +
+                        std::string(name) + "\"");
+  }
+  return entry->make(seed);
+}
+
+Scenario ScenarioRegistry::make(std::string_view name,
+                                std::uint64_t seed) const {
+  return builder(name, seed).build();
+}
+
+RunReport ScenarioRegistry::run(std::string_view name,
+                                std::uint64_t seed) const {
+  return run_scenario(make(name, seed));
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> ScenarioRegistry::names_with_tag(
+    std::string_view tag) const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : entries_) {
+    for (const std::string& t : entry.tags) {
+      if (t == tag) {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bftcup::cup

@@ -1,8 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "adversary/behaviors.hpp"
-#include "cup/runner.hpp"
-#include "graph/figures.hpp"
+#include "cup/scenario_builder.hpp"
 #include "protocol/discovery.hpp"
 #include "test_util.hpp"
 
@@ -168,15 +167,11 @@ TEST(AdversaryTest, EndToEndFaultMatrixOnFig1b) {
                    cup::ByzBehavior::kWrongValue,
                    cup::ByzBehavior::kEquivocate}) {
     for (std::uint64_t seed : {1, 9}) {
-      const auto inst = graph::figures::fig1b();
-      cup::Scenario s;
-      s.graph = inst.graph;
-      s.f = inst.f;
-      s.faulty = inst.faulty;
-      s.byz = byz;
-      s.mode = cup::Mode::kAuth;
-      s.sim.seed = seed;
-      const auto report = cup::run_scenario(s);
+      const auto report = cup::ScenarioBuilder(graph::figures::fig1b())
+                              .mode(cup::Mode::kAuth)
+                              .byz(byz)
+                              .seed(seed)
+                              .run();
       EXPECT_TRUE(report.all_correct_decided)
           << "byz=" << static_cast<int>(byz) << " seed=" << seed;
       EXPECT_TRUE(report.agreement);

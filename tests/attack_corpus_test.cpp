@@ -3,8 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "adversary/behaviors.hpp"
-#include "cup/runner.hpp"
-#include "graph/figures.hpp"
+#include "cup/scenario_builder.hpp"
 #include "test_util.hpp"
 
 namespace bftcup {
@@ -18,30 +17,22 @@ TEST(AttackCorpusTest, FakeIdsInPdCannotBlockConsensus) {
   // Byzantine 4 advertises a PD full of processes that do not exist (it
   // cannot mint identities that *answer* — Sybil resistance, §II-A).
   // Messages to them vanish; consensus must still solve.
-  const auto inst = graph::figures::fig1b();
-  cup::Scenario s;
-  s.graph = inst.graph;
-  s.f = inst.f;
-  s.faulty = inst.faulty;
-  s.mode = cup::Mode::kAuth;
-  s.byz = cup::ByzBehavior::kFakePd;
-  s.fake_pds[p(4)] = IdSet{p(901), p(902), p(903)};  // ghosts
-  const auto report = cup::run_scenario(s);
+  const auto report = cup::ScenarioBuilder(graph::figures::fig1b())
+                          .mode(cup::Mode::kAuth)
+                          .byz(cup::ByzBehavior::kFakePd)
+                          .fake_pd(p(4), {p(901), p(902), p(903)})  // ghosts
+                          .run();
   EXPECT_EQ(report.verdict(), "SOLVED");
 }
 
 TEST(AttackCorpusTest, GhostsNeverEnterTheSink) {
   // Ghost ids are known (via the Byzantine PD) but can never enter S1 (no
   // received PD) nor S2 (at most f=1 pointer). Membership stays real.
-  const auto inst = graph::figures::fig1b();
-  cup::Scenario s;
-  s.graph = inst.graph;
-  s.f = inst.f;
-  s.faulty = inst.faulty;
-  s.mode = cup::Mode::kAuth;
-  s.byz = cup::ByzBehavior::kFakePd;
-  s.fake_pds[p(4)] = IdSet{p(1), p(901)};
-  const auto report = cup::run_scenario(s);
+  const auto report = cup::ScenarioBuilder(graph::figures::fig1b())
+                          .mode(cup::Mode::kAuth)
+                          .byz(cup::ByzBehavior::kFakePd)
+                          .fake_pd(p(4), {p(1), p(901)})
+                          .run();
   ASSERT_EQ(report.verdict(), "SOLVED");
   for (const auto& [who, members] : report.memberships) {
     EXPECT_FALSE(members.contains(p(901))) << to_string(who);
@@ -102,14 +93,12 @@ TEST(AttackCorpusTest, CrashMidConsensusStillTerminates) {
   // silent mid-consensus (crash fault, weaker than Byzantine): the quorum
   // ⌈(|S|+f+1)/2⌉ tolerates it.
   const auto inst = graph::figures::fig1b();
-  cup::Scenario s;
-  s.graph = inst.graph;
-  s.f = inst.f;
-  s.faulty = inst.faulty;  // 4 crashes...
-  s.mode = cup::Mode::kAuth;
-  s.byz = cup::ByzBehavior::kFakePd;  // ByzantineNode participates honestly
-  s.fake_pds[p(4)] = inst.graph.out_neighbors(p(4));  // true PD
-  const auto report = cup::run_scenario(s);
+  const auto report =
+      cup::ScenarioBuilder(inst)  // 4 crashes...
+          .mode(cup::Mode::kAuth)
+          .byz(cup::ByzBehavior::kFakePd)  // ByzantineNode participates
+          .fake_pd(p(4), inst.graph.out_neighbors(p(4)))  // true PD
+          .run();
   // 4 participates in discovery but never in PBFT (our ByzantineNode stays
   // silent in consensus) — exactly the crash-after-discovery pattern.
   EXPECT_EQ(report.verdict(), "SOLVED");
@@ -119,15 +108,12 @@ TEST(AttackCorpusTest, WrongValueFloodCannotOutvoteMembers) {
   // Byzantine answers GETDECIDEDVAL instantly with 666 while real members
   // are still deciding; the ⌈(|S|+1)/2⌉ rule keeps non-members safe even
   // though the liar is the fastest responder.
-  const auto inst = graph::figures::fig1b();
-  cup::Scenario s;
-  s.graph = inst.graph;
-  s.f = inst.f;
-  s.faulty = inst.faulty;
-  s.mode = cup::Mode::kAuth;
-  s.byz = cup::ByzBehavior::kWrongValue;
-  s.sim.net.gst = 1'000;  // slow start maximizes the liar's head start
-  const auto report = cup::run_scenario(s);
+  const auto report =
+      cup::ScenarioBuilder(graph::figures::fig1b())
+          .mode(cup::Mode::kAuth)
+          .byz(cup::ByzBehavior::kWrongValue)
+          .gst(1'000)  // slow start maximizes the liar's head start
+          .run();
   ASSERT_EQ(report.verdict(), "SOLVED");
   for (const auto& [who, d] : report.decisions) {
     EXPECT_NE(d.value, 666U) << to_string(who);
@@ -139,14 +125,11 @@ class AttackMatrixSweep
 
 TEST_P(AttackMatrixSweep, CupftSolvesUnderEveryBehaviorOnFig4b) {
   const auto [byz_int, seed] = GetParam();
-  const auto inst = graph::figures::fig4b();
-  cup::Scenario s;
-  s.graph = inst.graph;
-  s.faulty = inst.faulty;
-  s.mode = cup::Mode::kCupft;
-  s.byz = static_cast<cup::ByzBehavior>(byz_int);
-  s.sim.seed = seed;
-  const auto report = cup::run_scenario(s);
+  const auto report = cup::ScenarioBuilder(graph::figures::fig4b())
+                          .mode(cup::Mode::kCupft)
+                          .byz(static_cast<cup::ByzBehavior>(byz_int))
+                          .seed(seed)
+                          .run();
   EXPECT_TRUE(report.agreement) << "byz=" << byz_int << " seed=" << seed;
   EXPECT_TRUE(report.all_correct_decided)
       << "byz=" << byz_int << " seed=" << seed;

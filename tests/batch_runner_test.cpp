@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "cup/batch_runner.hpp"
+
+namespace bftcup::cup {
+namespace {
+
+RunRecord record(std::string scenario, std::uint64_t seed,
+                 const char* verdict, std::int64_t latency,
+                 std::uint64_t messages) {
+  RunRecord r;
+  r.scenario = std::move(scenario);
+  r.seed = seed;
+  r.verdict = verdict;
+  r.terminated = std::string(verdict) == "SOLVED";
+  r.agreement = std::string(verdict) != "AGREEMENT-VIOLATED";
+  r.latency = latency;
+  r.messages = messages;
+  r.delivered = messages;
+  r.bytes = messages * 100;
+  r.value = 1001;
+  r.digest = "d" + std::to_string(seed);
+  return r;
+}
+
+// ------------------------------------------------------------- Sweep ----
+
+TEST(SweepTest, ExpansionCountsScenariosTimesSeeds) {
+  Sweep sweep;
+  sweep.add(ScenarioRegistry::paper(), "fig1b/silent")
+      .add(ScenarioRegistry::paper(), "fig1b/wrong-value")
+      .seeds(10, 3);
+  EXPECT_EQ(sweep.scenario_count(), 2u);
+  EXPECT_EQ(sweep.run_count(), 6u);
+
+  const auto points = sweep.expand();
+  ASSERT_EQ(points.size(), 6u);
+  // Deterministic order: scenarios in insertion order, seeds ascending.
+  EXPECT_EQ(points[0].scenario, "fig1b/silent");
+  EXPECT_EQ(points[0].seed, 10u);
+  EXPECT_EQ(points[2].seed, 12u);
+  EXPECT_EQ(points[3].scenario, "fig1b/wrong-value");
+  // The seed axis reaches the simulator options.
+  EXPECT_EQ(points[4].config.sim.seed, 11u);
+}
+
+TEST(SweepTest, TagExpansionAddsEveryTaggedScenario) {
+  Sweep sweep;
+  sweep.add_tag(ScenarioRegistry::paper(), "table1").seeds(1, 2);
+  EXPECT_EQ(sweep.scenario_count(), 9u);
+  EXPECT_EQ(sweep.run_count(), 18u);
+}
+
+TEST(SweepTest, AxisNamesPointsAfterTheValue) {
+  Sweep sweep;
+  sweep.axis("gst=", {0, 100, 200}, [](int gst) {
+    return ScenarioRegistry::paper()
+        .builder("fig1b/silent")
+        .gst(gst);
+  });
+  const auto points = sweep.expand();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[1].scenario, "gst=100");
+  EXPECT_EQ(points[1].config.sim.net.gst, 100);
+}
+
+TEST(SweepTest, InvalidInputsThrow) {
+  Sweep sweep;
+  EXPECT_THROW(sweep.add(ScenarioRegistry::paper(), "no-such"),
+               ScenarioError);
+  EXPECT_THROW(sweep.add_tag(ScenarioRegistry::paper(), "no-such-tag"),
+               ScenarioError);
+  EXPECT_THROW(sweep.seeds(1, 0), ScenarioError);
+  // Names travel through CSV/JSON unescaped; delimiters are rejected at
+  // the door so the round-trip contract holds by construction.
+  EXPECT_THROW(sweep.add("a,b", [](std::uint64_t) { return Scenario{}; }),
+               ScenarioError);
+  EXPECT_THROW(sweep.add("a\"b", [](std::uint64_t) { return Scenario{}; }),
+               ScenarioError);
+  EXPECT_THROW(sweep.add("a\\b", [](std::uint64_t) { return Scenario{}; }),
+               ScenarioError);
+  EXPECT_THROW(sweep.add("a\tb", [](std::uint64_t) { return Scenario{}; }),
+               ScenarioError);
+  EXPECT_THROW(sweep.add("", [](std::uint64_t) { return Scenario{}; }),
+               ScenarioError);
+}
+
+// ------------------------------------------------------- BatchReport ----
+
+TEST(BatchReportTest, AggregatesPassRateAndViolations) {
+  BatchReport report({record("a", 1, "SOLVED", 100, 10),
+                      record("a", 2, "SOLVED", 200, 12),
+                      record("a", 3, "NO-TERMINATION", -1, 9),
+                      record("b", 1, "AGREEMENT-VIOLATED", 50, 5)});
+  const auto stats = report.scenarios();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].scenario, "a");
+  EXPECT_EQ(stats[0].runs, 3u);
+  EXPECT_EQ(stats[0].solved, 2u);
+  EXPECT_NEAR(stats[0].pass_rate(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats[0].non_terminations, 1u);
+  EXPECT_EQ(stats[0].messages_total, 31u);
+  EXPECT_EQ(stats[1].agreement_violations, 1u);
+}
+
+TEST(BatchReportTest, PercentilesUseNearestRank) {
+  std::vector<RunRecord> runs;
+  for (std::int64_t latency = 1; latency <= 100; ++latency) {
+    runs.push_back(
+        record("x", static_cast<std::uint64_t>(latency), "SOLVED", latency, 1));
+  }
+  const auto stats = BatchReport(std::move(runs)).scenarios();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].latency_min, 1);
+  EXPECT_EQ(stats[0].latency_p50, 50);  // nearest-rank: ceil(0.50*100) = 50th
+  EXPECT_EQ(stats[0].latency_p99, 99);
+  EXPECT_EQ(stats[0].latency_max, 100);
+}
+
+TEST(BatchReportTest, PercentileOfSingleRun) {
+  const auto stats =
+      BatchReport({record("x", 1, "SOLVED", 42, 1)}).scenarios();
+  EXPECT_EQ(stats[0].latency_min, 42);
+  EXPECT_EQ(stats[0].latency_p50, 42);
+  EXPECT_EQ(stats[0].latency_p99, 42);
+  EXPECT_EQ(stats[0].latency_max, 42);
+}
+
+TEST(BatchReportTest, NoCompletedRunsKeepsLatencySentinels) {
+  const auto stats =
+      BatchReport({record("x", 1, "NO-TERMINATION", -1, 1)}).scenarios();
+  EXPECT_EQ(stats[0].latency_min, -1);
+  EXPECT_EQ(stats[0].latency_p99, -1);
+}
+
+TEST(BatchReportTest, CsvRoundTrip) {
+  const BatchReport report({record("fig1b/silent", 1, "SOLVED", 123, 45),
+                            record("fig1b/silent", 2, "NO-TERMINATION", -1, 7),
+                            record("fig2/system-ab-naive", 1,
+                                   "AGREEMENT-VIOLATED", 99, 8)});
+  const std::string csv = report.runs_csv();
+  const BatchReport back = BatchReport::from_runs_csv(csv);
+  EXPECT_EQ(back, report);
+  EXPECT_EQ(back.runs_csv(), csv);
+}
+
+TEST(BatchReportTest, JsonRoundTrip) {
+  const BatchReport report({record("fig1b/silent", 1, "SOLVED", 123, 45),
+                            record("fig3a/cupft", 9, "NO-TERMINATION", -1, 6)});
+  const std::string json = report.to_json();
+  const BatchReport back = BatchReport::from_json(json);
+  EXPECT_EQ(back, report);
+  EXPECT_EQ(back.to_json(), json);
+}
+
+TEST(BatchReportTest, JsonRoundTripOfEmptyReport) {
+  const BatchReport report;
+  EXPECT_EQ(BatchReport::from_json(report.to_json()), report);
+  EXPECT_EQ(BatchReport::from_runs_csv(report.runs_csv()), report);
+}
+
+TEST(BatchReportTest, MalformedImportsThrow) {
+  EXPECT_THROW(BatchReport::from_runs_csv("nonsense header\n"),
+               std::invalid_argument);
+  EXPECT_THROW(BatchReport::from_json("{\"nope\":[]}"),
+               std::invalid_argument);
+  EXPECT_THROW(BatchReport::from_json("{\"runs\":[{\"wat\":1}]}"),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------- BatchRunner ----
+
+TEST(BatchRunnerTest, ParallelSweepMatchesSerialBitForBit) {
+  // The acceptance sweep: 100 (scenario, seed) runs, pooled vs serial.
+  Sweep sweep;
+  sweep.add(ScenarioRegistry::paper(), "fig1b/silent")
+      .add(ScenarioRegistry::paper(), "table1/sync/known-n-known-f")
+      .add(ScenarioRegistry::paper(), "table1/sync/unknown-n-known-f")
+      .add(ScenarioRegistry::paper(), "fig1b/wrong-value")
+      .seeds(1, 25);
+  ASSERT_EQ(sweep.run_count(), 100u);
+
+  BatchRunner::Options serial_options;
+  serial_options.threads = 1;
+  const BatchReport serial = BatchRunner(serial_options).run(sweep);
+
+  BatchRunner::Options pooled_options;
+  pooled_options.threads = 4;
+  const BatchReport pooled = BatchRunner(pooled_options).run(sweep);
+
+  ASSERT_EQ(serial.runs().size(), 100u);
+  ASSERT_EQ(pooled.runs().size(), 100u);
+  // Byte-identical per-run reports: every flattened field and the SHA-256
+  // digest of the full RunReport.
+  EXPECT_EQ(pooled, serial);
+}
+
+TEST(BatchRunnerTest, VerifyDeterminismOptionPasses) {
+  Sweep sweep;
+  sweep.add(ScenarioRegistry::paper(), "fig1b/silent").seeds(1, 4);
+  BatchRunner::Options options;
+  options.threads = 2;
+  options.verify_determinism = true;
+  EXPECT_NO_THROW((void)BatchRunner(options).run(sweep));
+}
+
+TEST(BatchRunnerTest, ResultsKeepSweepOrderRegardlessOfThreads) {
+  Sweep sweep;
+  sweep.add(ScenarioRegistry::paper(), "fig1b/silent").seeds(5, 8);
+  BatchRunner::Options options;
+  options.threads = 8;
+  const BatchReport report = BatchRunner(options).run(sweep);
+  ASSERT_EQ(report.runs().size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(report.runs()[i].seed, 5 + i);
+  }
+}
+
+TEST(BatchRunnerTest, FactoryExceptionsPropagate) {
+  Sweep sweep;
+  sweep.add("boom", [](std::uint64_t) -> Scenario {
+    throw ScenarioError("deliberate");
+  });
+  // The factory throws during expand(), before any thread starts.
+  EXPECT_THROW((void)BatchRunner().run(sweep), ScenarioError);
+}
+
+TEST(BatchRunnerTest, SolvedScenariosReportAsSolvedInAggregate) {
+  Sweep sweep;
+  sweep.add(ScenarioRegistry::paper(), "fig1b/silent").seeds(1, 3);
+  const BatchReport report = BatchRunner().run(sweep);
+  const auto stats = report.scenarios();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].runs, 3u);
+  EXPECT_EQ(stats[0].solved, 3u);
+  EXPECT_GT(stats[0].latency_p50, 0);
+  EXPECT_GE(stats[0].latency_max, stats[0].latency_p99);
+  EXPECT_GE(stats[0].latency_p99, stats[0].latency_p50);
+  EXPECT_GE(stats[0].latency_p50, stats[0].latency_min);
+}
+
+}  // namespace
+}  // namespace bftcup::cup

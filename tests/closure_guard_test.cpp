@@ -2,8 +2,7 @@
 // bridge-hiding fake-PD attack (DESIGN.md §4.6).
 #include <gtest/gtest.h>
 
-#include "cup/runner.hpp"
-#include "graph/figures.hpp"
+#include "cup/scenario_builder.hpp"
 
 namespace bftcup::cup {
 namespace {
@@ -12,21 +11,18 @@ ProcessId p(std::uint64_t raw) {
   return ProcessId(raw);
 }
 
-Scenario attack_scenario(bool closure_guard) {
-  const auto inst = graph::figures::fig4a();
-  Scenario s;
-  s.graph = inst.graph;
-  s.faulty = inst.faulty;  // Byzantine 5
-  s.mode = Mode::kCupft;
-  s.byz = ByzBehavior::kFakePd;
-  s.fake_pds[p(5)] = IdSet{p(6), p(7), p(8)};  // hides the 5->4 bridge
-  s.cupft_known_closure = closure_guard;
-  s.sim.horizon = 300'000;
-  return s;
+ScenarioBuilder attack_builder(bool closure_guard) {
+  // Fig. 4a with Byzantine 5 hiding the 5->4 bridge behind a fake PD.
+  return ScenarioBuilder(graph::figures::fig4a())
+      .mode(Mode::kCupft)
+      .byz(ByzBehavior::kFakePd)
+      .fake_pd(p(5), {p(6), p(7), p(8)})
+      .closure_guard(closure_guard)
+      .horizon(300'000);
 }
 
 TEST(ClosureGuardTest, WithoutGuardTheAttackBreaksTheRun) {
-  const auto report = run_scenario(attack_scenario(false));
+  const auto report = attack_builder(false).run();
   EXPECT_NE(report.verdict(), "SOLVED");
 }
 
@@ -36,9 +32,7 @@ TEST(ClosureGuardTest, GuardPreservesAgreementUnderAttack) {
   // are unheard-from; by the time they answered, the tie with {1,2,3,4} is
   // visible. Safety holds; multiple seeds to derisk scheduling luck.
   for (std::uint64_t seed : {1, 2, 3, 5, 8}) {
-    Scenario s = attack_scenario(true);
-    s.sim.seed = seed;
-    const auto report = run_scenario(s);
+    const auto report = attack_builder(true).seed(seed).run();
     EXPECT_TRUE(report.agreement) << "seed=" << seed;
     // No two different cores may both decide.
     std::optional<Value> value;
@@ -57,15 +51,12 @@ TEST(ClosureGuardTest, GuardCostsLivenessWithSilentOutsideByzantine) {
   // nobody ever adopts a core. This is the negative result: Algorithm 4
   // cannot be repaired by a local rule that both defeats the attack and
   // stays live.
-  const auto inst = graph::figures::fig4a();
-  Scenario s;
-  s.graph = inst.graph;
-  s.faulty = inst.faulty;
-  s.mode = Mode::kCupft;
-  s.byz = ByzBehavior::kSilent;
-  s.cupft_known_closure = true;
-  s.sim.horizon = 150'000;
-  const auto report = run_scenario(s);
+  const auto report = ScenarioBuilder(graph::figures::fig4a())
+                          .mode(Mode::kCupft)
+                          .byz(ByzBehavior::kSilent)
+                          .closure_guard()
+                          .horizon(150'000)
+                          .run();
   EXPECT_EQ(report.verdict(), "NO-TERMINATION");
   EXPECT_TRUE(report.decisions.empty());
 }
@@ -73,12 +64,10 @@ TEST(ClosureGuardTest, GuardCostsLivenessWithSilentOutsideByzantine) {
 TEST(ClosureGuardTest, GuardIsHarmlessWhenEveryoneSpeaks) {
   // All-correct fig. 4a (threshold exists, nobody faulty): the guard delays
   // adoption only until every PD arrived; consensus still solves.
-  const auto inst = graph::figures::fig4a();
-  Scenario s;
-  s.graph = inst.graph;
-  s.mode = Mode::kCupft;
-  s.cupft_known_closure = true;
-  const auto report = run_scenario(s);
+  const auto report = ScenarioBuilder(graph::figures::fig4a().graph)
+                          .mode(Mode::kCupft)
+                          .closure_guard()
+                          .run();
   EXPECT_EQ(report.verdict(), "SOLVED");
 }
 

@@ -1,9 +1,7 @@
 // End-to-end runs of the authenticated BFT-CUP protocol (Section III).
 #include <gtest/gtest.h>
 
-#include "cup/runner.hpp"
-#include "graph/figures.hpp"
-#include "graph/generators.hpp"
+#include "cup/scenario_builder.hpp"
 
 namespace bftcup::cup {
 namespace {
@@ -12,22 +10,22 @@ ProcessId p(std::uint64_t raw) {
   return ProcessId(raw);
 }
 
-Scenario base_scenario(graph::Digraph g, std::size_t f, IdSet faulty) {
-  Scenario s;
-  s.graph = std::move(g);
-  s.f = f;
-  s.faulty = std::move(faulty);
-  s.mode = Mode::kAuth;
-  s.sim.horizon = 2'000'000;
-  s.sim.net.gst = 0;
-  s.sim.net.delta = 10;
-  return s;
+ScenarioBuilder base_builder(graph::Digraph g, std::size_t f, IdSet faulty) {
+  return ScenarioBuilder(std::move(g))
+      .f(f)
+      .faulty(std::move(faulty))
+      .mode(Mode::kAuth)
+      .horizon(2'000'000)
+      .gst(0)
+      .delta(10);
+}
+
+ScenarioBuilder base_builder(const graph::figures::Instance& inst) {
+  return base_builder(inst.graph, inst.f, inst.faulty);
 }
 
 TEST(AuthCupIntegrationTest, Fig1bSilentByzantineSolves) {
-  const auto inst = graph::figures::fig1b();
-  const auto report =
-      run_scenario(base_scenario(inst.graph, inst.f, inst.faulty));
+  const auto report = base_builder(graph::figures::fig1b()).run();
   EXPECT_EQ(report.verdict(), "SOLVED");
   EXPECT_TRUE(report.validity);
   // Every correct process settled on the sink {1,2,3,4} (Theorem 4: all and
@@ -38,19 +36,18 @@ TEST(AuthCupIntegrationTest, Fig1bSilentByzantineSolves) {
 }
 
 TEST(AuthCupIntegrationTest, Fig1bFakePdByzantineSolves) {
-  const auto inst = graph::figures::fig1b();
-  Scenario s = base_scenario(inst.graph, inst.f, inst.faulty);
-  s.byz = ByzBehavior::kFakePd;
-  s.fake_pds[p(4)] = IdSet{p(1), p(2), p(3)};  // the paper's walkthrough
-  const auto report = run_scenario(s);
+  const auto report =
+      base_builder(graph::figures::fig1b())
+          .byz(ByzBehavior::kFakePd)
+          .fake_pd(p(4), {p(1), p(2), p(3)})  // the paper's walkthrough
+          .run();
   EXPECT_EQ(report.verdict(), "SOLVED");
 }
 
 TEST(AuthCupIntegrationTest, Fig1bWrongValueByzantineSolves) {
-  const auto inst = graph::figures::fig1b();
-  Scenario s = base_scenario(inst.graph, inst.f, inst.faulty);
-  s.byz = ByzBehavior::kWrongValue;
-  const auto report = run_scenario(s);
+  const auto report = base_builder(graph::figures::fig1b())
+                          .byz(ByzBehavior::kWrongValue)
+                          .run();
   EXPECT_EQ(report.verdict(), "SOLVED");
   // Non-sink members needed ceil((|S|+1)/2) identical answers, so the bogus
   // 666 can never win.
@@ -60,10 +57,9 @@ TEST(AuthCupIntegrationTest, Fig1bWrongValueByzantineSolves) {
 }
 
 TEST(AuthCupIntegrationTest, Fig1bEquivocatingByzantine) {
-  const auto inst = graph::figures::fig1b();
-  Scenario s = base_scenario(inst.graph, inst.f, inst.faulty);
-  s.byz = ByzBehavior::kEquivocate;
-  const auto report = run_scenario(s);
+  const auto report = base_builder(graph::figures::fig1b())
+                          .byz(ByzBehavior::kEquivocate)
+                          .run();
   EXPECT_TRUE(report.all_correct_decided);
   EXPECT_TRUE(report.agreement);
 }
@@ -73,10 +69,8 @@ TEST(AuthCupIntegrationTest, Fig1aSplitsExactlyAsThePaperArgues) {
   // G_safe). With 4 silent, each cluster finds a *local* set satisfying the
   // predicate and decides independently — the executable form of the
   // caption's "solving consensus in this system is impossible".
-  const auto inst = graph::figures::fig1a();
-  Scenario s = base_scenario(inst.graph, inst.f, inst.faulty);
-  s.sim.horizon = 300'000;
-  const auto report = run_scenario(s);
+  const auto report =
+      base_builder(graph::figures::fig1a()).horizon(300'000).run();
   EXPECT_FALSE(report.agreement);
   EXPECT_EQ(report.verdict(), "AGREEMENT-VIOLATED");
   // The split is along the two clusters.
@@ -97,10 +91,8 @@ TEST(AuthCupIntegrationTest, Fig3aTrueSinkDecidesAndNobodyContradictsIt) {
   //   * processes adopting the false family can stall (their quorum of 5
   //     exceeds its 4 live participants) but can never decide a
   //     conflicting value — Agreement over deciders holds.
-  const auto inst = graph::figures::fig3a();
-  Scenario s = base_scenario(inst.graph, inst.f, inst.faulty);
-  s.sim.horizon = 300'000;
-  const auto report = run_scenario(s);
+  const auto report =
+      base_builder(graph::figures::fig3a()).horizon(300'000).run();
   EXPECT_TRUE(report.agreement);
   for (std::uint64_t id : {5, 7, 8}) {
     EXPECT_TRUE(report.decisions.contains(p(id))) << "p" << id;
@@ -109,18 +101,15 @@ TEST(AuthCupIntegrationTest, Fig3aTrueSinkDecidesAndNobodyContradictsIt) {
 }
 
 TEST(AuthCupIntegrationTest, Fig3bSolvesWithF2) {
-  const auto inst = graph::figures::fig3b();
-  const auto report =
-      run_scenario(base_scenario(inst.graph, inst.f, inst.faulty));
+  const auto report = base_builder(graph::figures::fig3b()).run();
   EXPECT_EQ(report.verdict(), "SOLVED");
 }
 
 TEST(AuthCupIntegrationTest, LateGstStillSolves) {
-  const auto inst = graph::figures::fig1b();
-  Scenario s = base_scenario(inst.graph, inst.f, inst.faulty);
-  s.sim.net.gst = 20'000;  // long chaotic prefix
-  s.sim.seed = 5;
-  const auto report = run_scenario(s);
+  const auto report = base_builder(graph::figures::fig1b())
+                          .gst(20'000)  // long chaotic prefix
+                          .seed(5)
+                          .run();
   EXPECT_EQ(report.verdict(), "SOLVED");
   EXPECT_GT(report.messages_sent, 0U);
 }
@@ -131,11 +120,10 @@ TEST_P(LateGstSweep, ChaoticPrefixNeverSplitsFig1b) {
   // Regression for a PBFT safety bug: pre-GST reordering let replicas
   // commit in a view they had already left, assembling commit quorums for
   // two values. Agreement must hold under every schedule.
-  const auto inst = graph::figures::fig1b();
-  Scenario s = base_scenario(inst.graph, inst.f, inst.faulty);
-  s.sim.net.gst = 2'000;
-  s.sim.seed = GetParam();
-  const auto report = run_scenario(s);
+  const auto report = base_builder(graph::figures::fig1b())
+                          .gst(2'000)
+                          .seed(GetParam())
+                          .run();
   EXPECT_TRUE(report.agreement) << "seed=" << GetParam();
   EXPECT_EQ(report.verdict(), "SOLVED") << "seed=" << GetParam();
 }
@@ -161,10 +149,10 @@ TEST_P(AuthCupSweep, RandomGraphsSolveConsensus) {
   gp.byzantine_in_sink = param.f;
   const auto sys = graph::generators::random_bft_cup(gp, rng);
 
-  Scenario s = base_scenario(sys.graph, sys.f, sys.faulty);
-  s.byz = param.byz;
-  s.sim.seed = param.seed * 31 + 7;
-  const auto report = run_scenario(s);
+  const auto report = base_builder(sys.graph, sys.f, sys.faulty)
+                          .byz(param.byz)
+                          .seed(param.seed * 31 + 7)
+                          .run();
   EXPECT_EQ(report.verdict(), "SOLVED")
       << "seed=" << param.seed << " f=" << param.f;
   EXPECT_TRUE(report.validity);
@@ -182,9 +170,7 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParams{8, 1, ByzBehavior::kEquivocate}));
 
 TEST(AuthCupIntegrationTest, DecisionValueWasProposedBySomeCorrectProcess) {
-  const auto inst = graph::figures::fig1b();
-  Scenario s = base_scenario(inst.graph, inst.f, inst.faulty);
-  const auto report = run_scenario(s);
+  const auto report = base_builder(graph::figures::fig1b()).run();
   ASSERT_TRUE(report.common_value.has_value());
   bool from_correct = false;
   for (ProcessId id : report.correct) {
@@ -194,9 +180,7 @@ TEST(AuthCupIntegrationTest, DecisionValueWasProposedBySomeCorrectProcess) {
 }
 
 TEST(AuthCupIntegrationTest, MessageAndByteMetricsPopulated) {
-  const auto inst = graph::figures::fig1b();
-  const auto report =
-      run_scenario(base_scenario(inst.graph, inst.f, inst.faulty));
+  const auto report = base_builder(graph::figures::fig1b()).run();
   EXPECT_GT(report.messages_sent, 0U);
   EXPECT_GT(report.messages_delivered, 0U);
   EXPECT_GT(report.bytes_sent, report.messages_sent);  // > 1 byte each

@@ -1,9 +1,7 @@
 // End-to-end runs of the BFT-CUPFT protocol (Section VI): nobody knows f.
 #include <gtest/gtest.h>
 
-#include "cup/runner.hpp"
-#include "graph/figures.hpp"
-#include "graph/generators.hpp"
+#include "cup/scenario_builder.hpp"
 
 namespace bftcup::cup {
 namespace {
@@ -12,20 +10,18 @@ ProcessId p(std::uint64_t raw) {
   return ProcessId(raw);
 }
 
-Scenario cupft_scenario(graph::Digraph g, IdSet faulty) {
-  Scenario s;
-  s.graph = std::move(g);
-  s.faulty = std::move(faulty);
-  s.mode = Mode::kCupft;
-  s.sim.horizon = 2'000'000;
-  s.sim.net.gst = 0;
-  s.sim.net.delta = 10;
-  return s;
+ScenarioBuilder cupft_builder(graph::Digraph g, IdSet faulty) {
+  return ScenarioBuilder(std::move(g))
+      .faulty(std::move(faulty))
+      .mode(Mode::kCupft)
+      .horizon(2'000'000)
+      .gst(0)
+      .delta(10);
 }
 
 TEST(CupftIntegrationTest, Fig4aSolvesWithCore1234) {
   const auto inst = graph::figures::fig4a();
-  const auto report = run_scenario(cupft_scenario(inst.graph, inst.faulty));
+  const auto report = cupft_builder(inst.graph, inst.faulty).run();
   EXPECT_EQ(report.verdict(), "SOLVED");
   for (const auto& [who, members] : report.memberships) {
     EXPECT_EQ(members, (IdSet{p(1), p(2), p(3), p(4)})) << to_string(who);
@@ -34,7 +30,7 @@ TEST(CupftIntegrationTest, Fig4aSolvesWithCore1234) {
 
 TEST(CupftIntegrationTest, Fig4bSolvesWithCore8to12) {
   const auto inst = graph::figures::fig4b();
-  const auto report = run_scenario(cupft_scenario(inst.graph, inst.faulty));
+  const auto report = cupft_builder(inst.graph, inst.faulty).run();
   EXPECT_EQ(report.verdict(), "SOLVED");
   for (const auto& [who, members] : report.memberships) {
     EXPECT_EQ(members, (IdSet{p(8), p(9), p(10), p(11), p(12)}))
@@ -46,10 +42,10 @@ TEST(CupftIntegrationTest, Fig4aBenignFakePdStillSolves) {
   // Byzantine 5 advertises a *different* fake PD that keeps pointing into
   // the A side: the bridge evidence survives and the core is found.
   const auto inst = graph::figures::fig4a();
-  Scenario s = cupft_scenario(inst.graph, inst.faulty);
-  s.byz = ByzBehavior::kFakePd;
-  s.fake_pds[p(5)] = IdSet{p(4), p(6)};
-  const auto report = run_scenario(s);
+  const auto report = cupft_builder(inst.graph, inst.faulty)
+                          .byz(ByzBehavior::kFakePd)
+                          .fake_pd(p(5), {p(4), p(6)})
+                          .run();
   EXPECT_EQ(report.verdict(), "SOLVED");
 }
 
@@ -62,18 +58,18 @@ TEST(CupftIntegrationTest, Fig4aBridgeHidingFakePdAttackSplits) {
   // separately. Algorithm 4 as specified has no defense against this;
   // the run is an executable witness of the gap.
   const auto inst = graph::figures::fig4a();
-  Scenario s = cupft_scenario(inst.graph, inst.faulty);
-  s.byz = ByzBehavior::kFakePd;
-  s.fake_pds[p(5)] = IdSet{p(6), p(7), p(8)};  // hides its bridge to 4
-  const auto report = run_scenario(s);
+  const auto report = cupft_builder(inst.graph, inst.faulty)
+                          .byz(ByzBehavior::kFakePd)
+                          .fake_pd(p(5), {p(6), p(7), p(8)})  // hides 5 -> 4
+                          .run();
   EXPECT_NE(report.verdict(), "SOLVED");
 }
 
 TEST(CupftIntegrationTest, Fig4bWrongValueByzantine) {
   const auto inst = graph::figures::fig4b();
-  Scenario s = cupft_scenario(inst.graph, inst.faulty);
-  s.byz = ByzBehavior::kWrongValue;
-  const auto report = run_scenario(s);
+  const auto report = cupft_builder(inst.graph, inst.faulty)
+                          .byz(ByzBehavior::kWrongValue)
+                          .run();
   EXPECT_EQ(report.verdict(), "SOLVED");
   for (const auto& [who, d] : report.decisions) {
     EXPECT_NE(d.value, 666U);
@@ -84,7 +80,7 @@ TEST(CupftIntegrationTest, Fig3bSolvesWithoutKnowingF) {
   // fig3b satisfies BFT-CUPFT; CupftNode must find the K5 core (+ absorbed
   // silent Byzantine {5,7}) with no f provided.
   const auto inst = graph::figures::fig3b();
-  const auto report = run_scenario(cupft_scenario(inst.graph, inst.faulty));
+  const auto report = cupft_builder(inst.graph, inst.faulty).run();
   EXPECT_EQ(report.verdict(), "SOLVED");
   for (const auto& [who, members] : report.memberships) {
     EXPECT_EQ(members,
@@ -100,9 +96,8 @@ TEST(CupftIntegrationTest, Fig2cSplitsWhenSchedulingIsFast) {
   // insufficient graph no unknown-f protocol can do better (that is the
   // impossibility); the model's answer is the checker rejecting the graph.
   const auto inst = graph::figures::fig2c();
-  Scenario s = cupft_scenario(inst.graph, inst.faulty);
-  s.sim.horizon = 300'000;
-  const auto report = run_scenario(s);
+  const auto report =
+      cupft_builder(inst.graph, inst.faulty).horizon(300'000).run();
   EXPECT_FALSE(report.agreement);
 }
 
@@ -114,9 +109,8 @@ TEST(CupftIntegrationTest, Fig3aTrueSinkDecidesOthersStarve) {
   // family whose quorum cannot assemble. Either way they never decide and
   // never contradict {5,7,8}.
   const auto inst = graph::figures::fig3a();
-  Scenario s = cupft_scenario(inst.graph, inst.faulty);
-  s.sim.horizon = 300'000;
-  const auto report = run_scenario(s);
+  const auto report =
+      cupft_builder(inst.graph, inst.faulty).horizon(300'000).run();
   EXPECT_TRUE(report.agreement);
   for (std::uint64_t id : {5, 7, 8}) {
     EXPECT_TRUE(report.decisions.contains(p(id)));
@@ -128,10 +122,8 @@ TEST(CupftIntegrationTest, Fig3aTrueSinkDecidesOthersStarve) {
 
 TEST(CupftIntegrationTest, LateGstStillSolves) {
   const auto inst = graph::figures::fig4a();
-  Scenario s = cupft_scenario(inst.graph, inst.faulty);
-  s.sim.net.gst = 20'000;
-  s.sim.seed = 11;
-  const auto report = run_scenario(s);
+  const auto report =
+      cupft_builder(inst.graph, inst.faulty).gst(20'000).seed(11).run();
   EXPECT_EQ(report.verdict(), "SOLVED");
 }
 
@@ -146,9 +138,9 @@ TEST_P(CupftSweep, RandomCupftGraphsSolve) {
   gp.byzantine_in_core = 1;
   const auto sys = graph::generators::random_cupft(gp, rng);
 
-  Scenario s = cupft_scenario(sys.graph, sys.faulty);
-  s.sim.seed = GetParam() * 13 + 1;
-  const auto report = run_scenario(s);
+  const auto report = cupft_builder(sys.graph, sys.faulty)
+                          .seed(GetParam() * 13 + 1)
+                          .run();
   EXPECT_EQ(report.verdict(), "SOLVED") << "seed=" << GetParam();
   EXPECT_TRUE(report.validity);
   // Every correct process converged on the full core (incl. the Byzantine
@@ -164,13 +156,11 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CupftSweep,
 TEST(CupftIntegrationTest, AuthAndCupftAgreeOnSameGraph) {
   // The "price of not knowing f" must be latency/messages, not outcomes.
   const auto inst = graph::figures::fig4a();
-  Scenario sa = cupft_scenario(inst.graph, inst.faulty);
-  sa.mode = Mode::kAuth;
-  sa.f = inst.f;
-  Scenario sc = cupft_scenario(inst.graph, inst.faulty);
-
-  const auto ra = run_scenario(sa);
-  const auto rc = run_scenario(sc);
+  const auto ra = cupft_builder(inst.graph, inst.faulty)
+                      .mode(Mode::kAuth)
+                      .f(inst.f)
+                      .run();
+  const auto rc = cupft_builder(inst.graph, inst.faulty).run();
   EXPECT_EQ(ra.verdict(), "SOLVED");
   EXPECT_EQ(rc.verdict(), "SOLVED");
 }

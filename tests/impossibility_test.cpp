@@ -1,8 +1,7 @@
 // Executable witnesses for Section IV: Theorem 7 and Observation 1.
 #include <gtest/gtest.h>
 
-#include "cup/runner.hpp"
-#include "graph/figures.hpp"
+#include "cup/scenario_builder.hpp"
 #include "graph/osr.hpp"
 
 namespace bftcup::cup {
@@ -12,61 +11,58 @@ ProcessId p(std::uint64_t raw) {
   return ProcessId(raw);
 }
 
-Scenario naive_scenario(graph::Digraph g, IdSet faulty) {
-  Scenario s;
-  s.graph = std::move(g);
-  s.faulty = std::move(faulty);
-  s.mode = Mode::kNaive;
-  s.sim.horizon = 1'000'000;
-  s.sim.net.gst = 0;
-  s.sim.net.delta = 10;
-  return s;
+ScenarioBuilder naive_builder(graph::Digraph g, IdSet faulty) {
+  return ScenarioBuilder(std::move(g))
+      .faulty(std::move(faulty))
+      .mode(Mode::kNaive)
+      .horizon(1'000'000)
+      .gst(0)
+      .delta(10);
 }
 
 TEST(ImpossibilityTest, SystemADecidesV) {
   // Case (a) of Theorem 7's proof: system A with 4 silent; the naive
   // protocol terminates deciding the common value v.
   const auto inst = graph::figures::fig2a();
-  Scenario s = naive_scenario(inst.graph, inst.faulty);
-  for (std::uint64_t id = 1; id <= 4; ++id) s.proposals[p(id)] = 111;  // v
-  const auto report = run_scenario(s);
+  const auto report = naive_builder(inst.graph, inst.faulty)
+                          .propose_range(1, 4, 111)  // v
+                          .run();
   EXPECT_TRUE(report.all_correct_decided);
   EXPECT_EQ(report.common_value, 111U);
 }
 
 TEST(ImpossibilityTest, SystemBDecidesU) {
   const auto inst = graph::figures::fig2b();
-  Scenario s = naive_scenario(inst.graph, inst.faulty);
-  for (std::uint64_t id = 5; id <= 8; ++id) s.proposals[p(id)] = 222;  // u
-  const auto report = run_scenario(s);
+  const auto report = naive_builder(inst.graph, inst.faulty)
+                          .propose_range(5, 8, 222)  // u
+                          .run();
   EXPECT_TRUE(report.all_correct_decided);
   EXPECT_EQ(report.common_value, 222U);
 }
 
-Scenario system_ab(std::uint64_t seed) {
+ScenarioBuilder system_ab(std::uint64_t seed) {
   const auto inst = graph::figures::fig2c();
-  Scenario s = naive_scenario(inst.graph, /*faulty=*/{});
   // Initial values: members of A propose v, members of B propose u.
-  for (std::uint64_t id = 1; id <= 4; ++id) s.proposals[p(id)] = 111;
-  for (std::uint64_t id = 5; id <= 8; ++id) s.proposals[p(id)] = 222;
   // GST far out; cross-group traffic (through the 4 <-> 5 bridge) crawls —
   // exactly the schedule from the proof ("received after max{tA+ΔA, ...}").
-  s.sim.net.gst = 800'000;
-  s.sim.seed = seed;
-  s.make_policy = [] {
-    return std::make_unique<sim::GroupStretchPolicy>(
-        std::make_unique<sim::RandomDelayPolicy>(),
-        IdSet{p(1), p(2), p(3), p(4)}, IdSet{p(5), p(6), p(7), p(8)},
-        /*release_at=*/700'000);
-  };
-  return s;
+  return naive_builder(inst.graph, /*faulty=*/{})
+      .propose_range(1, 4, 111)
+      .propose_range(5, 8, 222)
+      .gst(800'000)
+      .seed(seed)
+      .delay_policy([] {
+        return std::make_unique<sim::GroupStretchPolicy>(
+            std::make_unique<sim::RandomDelayPolicy>(),
+            IdSet{p(1), p(2), p(3), p(4)}, IdSet{p(5), p(6), p(7), p(8)},
+            /*release_at=*/700'000);
+      });
 }
 
 TEST(ImpossibilityTest, SystemAbViolatesAgreementUnderNaiveProtocol) {
   // Case (c): all eight processes are correct, but the two halves cannot
   // distinguish AB from their solo systems before the bridge traffic lands,
   // so they decide v and u respectively — Agreement is violated.
-  const auto report = run_scenario(system_ab(3));
+  const auto report = system_ab(3).run();
   EXPECT_TRUE(report.all_correct_decided);
   EXPECT_FALSE(report.agreement);
   EXPECT_EQ(report.verdict(), "AGREEMENT-VIOLATED");
@@ -87,7 +83,7 @@ TEST(ImpossibilityTest, SystemAbViolatesAgreementUnderNaiveProtocol) {
 TEST(ImpossibilityTest, ViolationIsSchedulerDependentNotLucky) {
   // Several seeds, same violation: this is structural, not a fluke.
   for (std::uint64_t seed : {1, 2, 5, 8}) {
-    const auto report = run_scenario(system_ab(seed));
+    const auto report = system_ab(seed).run();
     EXPECT_FALSE(report.agreement) << "seed=" << seed;
   }
 }
@@ -106,10 +102,8 @@ TEST(ImpossibilityTest, KnownFProtocolOnAbDoesNotSplit) {
 TEST(ImpossibilityTest, CupftNodesStaySilentOnAb) {
   // The fixed protocol pays with liveness on an insufficient graph, never
   // with safety.
-  Scenario s = system_ab(7);
-  s.mode = Mode::kCupft;
-  s.sim.horizon = 200'000;
-  const auto report = run_scenario(s);
+  const auto report =
+      system_ab(7).mode(Mode::kCupft).horizon(200'000).run();
   EXPECT_TRUE(report.decisions.empty());
   EXPECT_TRUE(report.agreement);
 }
@@ -120,15 +114,16 @@ TEST(ImpossibilityTest, NaiveOnFig3aCanAdoptTheFalseSink) {
   // sink {5,7,8} is slowed. The naive run must terminate with *some* split
   // membership; crucially it never matches the known-f run's {5,7,8}.
   const auto inst = graph::figures::fig3a();
-  Scenario s = naive_scenario(inst.graph, /*faulty=*/{});  // 1 behaves
-  s.sim.horizon = 300'000;
-  s.sim.net.gst = 800'000;
-  s.make_policy = [] {
-    return std::make_unique<sim::SlowSenderPolicy>(
-        std::make_unique<sim::RandomDelayPolicy>(),
-        IdSet{p(5), p(7), p(8)}, /*release_at=*/700'000);
-  };
-  const auto report = run_scenario(s);
+  const auto report =
+      naive_builder(inst.graph, /*faulty=*/{})  // 1 behaves
+          .horizon(300'000)
+          .gst(800'000)
+          .delay_policy([] {
+            return std::make_unique<sim::SlowSenderPolicy>(
+                std::make_unique<sim::RandomDelayPolicy>(),
+                IdSet{p(5), p(7), p(8)}, /*release_at=*/700'000);
+          })
+          .run();
   ASSERT_FALSE(report.memberships.empty());
   bool false_sink_adopted = false;
   for (const auto& [who, members] : report.memberships) {

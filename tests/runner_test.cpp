@@ -1,7 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "cup/runner.hpp"
-#include "graph/figures.hpp"
+#include "cup/scenario_builder.hpp"
 
 namespace bftcup::cup {
 namespace {
@@ -30,26 +29,17 @@ TEST(RunnerTest, DefaultProposalsAreDistinctPerProcess) {
 }
 
 TEST(RunnerTest, CustomProposalsWin) {
-  const auto inst = graph::figures::fig2a();
-  Scenario s;
-  s.graph = inst.graph;
-  s.f = inst.f;
-  s.faulty = inst.faulty;
-  s.mode = Mode::kAuth;
-  for (std::uint64_t id = 1; id <= 4; ++id) s.proposals[p(id)] = 31337;
-  const auto report = run_scenario(s);
+  const auto report = ScenarioBuilder(graph::figures::fig2a())
+                          .mode(Mode::kAuth)
+                          .propose_range(1, 4, 31337)
+                          .run();
   EXPECT_EQ(report.verdict(), "SOLVED");
   EXPECT_EQ(report.common_value, 31337U);
 }
 
 TEST(RunnerTest, ReportsCorrectSetExcludesFaulty) {
-  const auto inst = graph::figures::fig1b();
-  Scenario s;
-  s.graph = inst.graph;
-  s.f = inst.f;
-  s.faulty = inst.faulty;
-  s.mode = Mode::kAuth;
-  const auto report = run_scenario(s);
+  const auto report =
+      ScenarioBuilder(graph::figures::fig1b()).mode(Mode::kAuth).run();
   EXPECT_FALSE(report.correct.contains(p(4)));
   EXPECT_EQ(report.correct.size(), 7U);
   // Faulty silent node never decides.
@@ -57,13 +47,8 @@ TEST(RunnerTest, ReportsCorrectSetExcludesFaulty) {
 }
 
 TEST(RunnerTest, MembershipTimesPrecedeDecisions) {
-  const auto inst = graph::figures::fig1b();
-  Scenario s;
-  s.graph = inst.graph;
-  s.f = inst.f;
-  s.faulty = inst.faulty;
-  s.mode = Mode::kAuth;
-  const auto report = run_scenario(s);
+  const auto report =
+      ScenarioBuilder(graph::figures::fig1b()).mode(Mode::kAuth).run();
   ASSERT_TRUE(report.all_correct_decided);
   for (const auto& [who, d] : report.decisions) {
     ASSERT_TRUE(report.membership_times.contains(who)) << to_string(who);
@@ -73,14 +58,10 @@ TEST(RunnerTest, MembershipTimesPrecedeDecisions) {
 
 TEST(RunnerTest, DeterministicForFixedSeed) {
   auto run_once = [] {
-    const auto inst = graph::figures::fig1b();
-    Scenario s;
-    s.graph = inst.graph;
-    s.f = inst.f;
-    s.faulty = inst.faulty;
-    s.mode = Mode::kAuth;
-    s.sim.seed = 1234;
-    return run_scenario(s);
+    return ScenarioBuilder(graph::figures::fig1b())
+        .mode(Mode::kAuth)
+        .seed(1234)
+        .run();
   };
   const auto a = run_once();
   const auto b = run_once();
@@ -96,15 +77,11 @@ TEST(RunnerTest, DeterministicForFixedSeed) {
 
 TEST(RunnerTest, DifferentSeedsDifferentSchedules) {
   auto run_with = [](std::uint64_t seed) {
-    const auto inst = graph::figures::fig1b();
-    Scenario s;
-    s.graph = inst.graph;
-    s.f = inst.f;
-    s.faulty = inst.faulty;
-    s.mode = Mode::kAuth;
-    s.sim.seed = seed;
-    s.sim.net.gst = 2'000;  // chaotic prefix amplifies schedule differences
-    return run_scenario(s);
+    return ScenarioBuilder(graph::figures::fig1b())
+        .mode(Mode::kAuth)
+        .seed(seed)
+        .gst(2'000)  // chaotic prefix amplifies schedule differences
+        .run();
   };
   const auto a = run_with(1);
   const auto b = run_with(2);
@@ -114,28 +91,21 @@ TEST(RunnerTest, DifferentSeedsDifferentSchedules) {
 }
 
 TEST(RunnerTest, CustomSearchStrategyIsUsed) {
-  const auto inst = graph::figures::fig1b();
-  Scenario s;
-  s.graph = inst.graph;
-  s.f = inst.f;
-  s.faulty = inst.faulty;
-  s.mode = Mode::kAuth;
-  s.search = std::make_shared<protocol::StructuredSinkSearch>();
-  const auto report = run_scenario(s);
+  const auto report =
+      ScenarioBuilder(graph::figures::fig1b())
+          .mode(Mode::kAuth)
+          .search(std::make_shared<protocol::StructuredSinkSearch>())
+          .run();
   EXPECT_EQ(report.verdict(), "SOLVED");
 }
 
 TEST(RunnerTest, EquivocatorValuesCountAsProposed) {
   // Deciding one of the equivocator's values must not be flagged as a
   // Validity violation (Byzantine processes are processes too).
-  const auto inst = graph::figures::fig1b();
-  Scenario s;
-  s.graph = inst.graph;
-  s.f = inst.f;
-  s.faulty = inst.faulty;
-  s.byz = ByzBehavior::kEquivocate;
-  s.mode = Mode::kAuth;
-  const auto report = run_scenario(s);
+  const auto report = ScenarioBuilder(graph::figures::fig1b())
+                          .mode(Mode::kAuth)
+                          .byz(ByzBehavior::kEquivocate)
+                          .run();
   EXPECT_TRUE(report.agreement);
   EXPECT_TRUE(report.validity);
 }
