@@ -39,7 +39,7 @@ class SignedDiscoveryProcess : public sim::Process {
   }
   void on_timer(int kind, sim::Context& ctx) override {
     if ((kind & 0xff) == protocol::Discovery::kTimerKind) {
-      discovery_.on_timer(ctx);
+      discovery_.on_timer(kind, ctx);
     }
   }
 

@@ -1,5 +1,7 @@
 #include "adversary/behaviors.hpp"
 
+#include <array>
+
 namespace bftcup::adversary {
 
 ByzantineNode::ByzantineNode(ProcessId id, ByzantineConfig config)
@@ -35,21 +37,30 @@ void ByzantineNode::equivocate(sim::Context& ctx) {
   // damage is limited to whatever the quorum intersection argument allows.
   const auto& ids = config_.consensus_members.values();
   const std::size_t recipients = ids.size() - (config_.consensus_members.contains(id()) ? 1 : 0);
+  // Six distinct payloads total (3 phases x 2 values); each half of the
+  // membership receives shared refs, not per-recipient copies.
+  constexpr msg::MsgType kPhases[] = {msg::MsgType::kPbftPrePrepare,
+                                      msg::MsgType::kPbftPrepare,
+                                      msg::MsgType::kPbftCommit};
+  auto make_phase_refs = [&](Value v) {
+    std::array<msg::MessageRef, 3> refs;
+    for (std::size_t i = 0; i < 3; ++i) {
+      msg::Message m;
+      m.type = kPhases[i];
+      m.view = 0;
+      m.value = v;
+      m.sig = ctx.signer().sign(msg::pbft_payload(kPhases[i], 0, v));
+      refs[i] = msg::MessageRef::make(std::move(m));
+    }
+    return refs;
+  };
+  const auto refs_a = make_phase_refs(config_.value_a);
+  const auto refs_b = make_phase_refs(config_.value_b);
   std::size_t sent = 0;
   for (std::size_t i = 0; i < ids.size(); ++i) {
     if (ids[i] == id()) continue;
-    const Value v = (sent++ < recipients / 2) ? config_.value_a
-                                              : config_.value_b;
-    for (msg::MsgType phase :
-         {msg::MsgType::kPbftPrePrepare, msg::MsgType::kPbftPrepare,
-          msg::MsgType::kPbftCommit}) {
-      msg::Message m;
-      m.type = phase;
-      m.view = 0;
-      m.value = v;
-      m.sig = ctx.signer().sign(msg::pbft_payload(phase, 0, v));
-      ctx.send(ids[i], std::move(m));
-    }
+    const auto& refs = (sent++ < recipients / 2) ? refs_a : refs_b;
+    for (const msg::MessageRef& ref : refs) ctx.send(ids[i], ref);
   }
 }
 

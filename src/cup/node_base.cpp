@@ -44,6 +44,12 @@ void CupNodeBase::maybe_find_membership(sim::Context& ctx) {
     }
     pending_pbft_.clear();
     if (pbft_->decided()) finalize(pbft_->decision(), ctx);
+    if (recovering_ && !decided_) {
+      // This member was down; the others may have decided and quiesced
+      // while it was. Fetch the decided value alongside running PBFT —
+      // whichever completes first finalizes.
+      exchange_.request(membership_->members, ctx);
+    }
   } else {
     // Alg. 3 lines 6-7: fetch the decision from a member majority.
     exchange_.request(membership_->members, ctx);
@@ -92,9 +98,28 @@ void CupNodeBase::on_message(ProcessId from, const msg::Message& message,
   }
 }
 
+void CupNodeBase::on_recover(sim::Context& ctx) {
+  if (decided_) return;
+  recovering_ = true;
+  // Timers armed before the crash lapsed while this node was down: restart
+  // the periodic discovery poll (epoch-guarded, so a pre-crash timer that
+  // happens to fire after recovery cannot double the polling rate; a no-op
+  // once discovery was stopped) and the PBFT view timeout. Also re-ask the
+  // members for the decided value —
+  // replies (and, for a member, the PBFT-DECIDE certificate broadcast) sent
+  // while down were lost. A member adopting a majority-of-members answer is
+  // safe by the same argument as Alg. 3 lines 7-9: any majority of S
+  // contains a correct member, and correct members answer only their actual
+  // decision. Members that have not decided yet queue the request and
+  // answer once they do.
+  discovery_.restart(ctx);
+  if (pbft_ && !pbft_->decided()) pbft_->rearm_view_timer(ctx);
+  if (membership_) exchange_.request(membership_->members, ctx);
+}
+
 void CupNodeBase::on_timer(int kind, sim::Context& ctx) {
   if ((kind & 0xff) == protocol::Discovery::kTimerKind) {
-    if (!decided_) discovery_.on_timer(ctx);
+    if (!decided_) discovery_.on_timer(kind, ctx);
     return;
   }
   if ((kind & 0xff) == protocol::PbftInstance::kTimerKind && pbft_) {

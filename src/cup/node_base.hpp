@@ -48,6 +48,7 @@ class CupNodeBase : public sim::Process {
   void on_message(ProcessId from, const msg::Message& message,
                   sim::Context& ctx) override;
   void on_timer(int kind, sim::Context& ctx) override;
+  void on_recover(sim::Context& ctx) override;
 
   [[nodiscard]] bool has_decided() const { return decided_.has_value(); }
   [[nodiscard]] Value decision() const { return *decided_; }
@@ -83,6 +84,10 @@ class CupNodeBase : public sim::Process {
   /// PBFT traffic can arrive before we have discovered the sink/core
   /// ourselves; it is buffered and replayed once the instance exists.
   std::vector<std::pair<ProcessId, msg::Message>> pending_pbft_;
+  /// Set by on_recover: this node was down and may have missed the decision
+  /// traffic, so once membership is (re)discovered it fetches the decided
+  /// value even as a member. Never set in fault-free runs.
+  bool recovering_ = false;
   std::optional<Value> decided_;
 };
 

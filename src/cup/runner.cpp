@@ -69,6 +69,9 @@ RunReport run_scenario(const Scenario& scenario) {
   if (scenario.make_policy) {
     simulator.set_delay_policy(scenario.make_policy());
   }
+  if (!scenario.timeline.empty()) {
+    simulator.set_fault_timeline(scenario.timeline);
+  }
 
   std::shared_ptr<const protocol::SinkSearch> search = scenario.search;
   if (!search) {
@@ -161,6 +164,7 @@ RunReport run_scenario(const Scenario& scenario) {
   report.completion_time = trace.completion_time(correct);
   report.messages_sent = trace.messages_sent();
   report.messages_delivered = trace.messages_delivered();
+  report.messages_dropped = trace.messages_dropped();
   report.bytes_sent = trace.bytes_sent();
   report.decisions = trace.decisions();
   report.memberships = trace.memberships();

@@ -42,6 +42,9 @@ struct Scenario {
   std::map<ProcessId, Value> proposals;
 
   sim::Simulator::Options sim;
+  /// Time-scheduled fault script (crash/recover, link and partition windows,
+  /// late joins). Empty by default; see ScenarioBuilder's fluent fault API.
+  sim::FaultTimeline timeline;
   SimTime discovery_period = 50;
   SimTime pbft_base_timeout = 600;
   /// Optional custom delay policy (e.g. GroupStretchPolicy for Theorem 7).
@@ -60,6 +63,8 @@ struct RunReport {
   std::optional<SimTime> completion_time;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
+  /// Messages lost to fault-timeline events (always 0 without a timeline).
+  std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
   std::map<ProcessId, sim::Decision> decisions;
   std::map<ProcessId, IdSet> memberships;
@@ -68,10 +73,12 @@ struct RunReport {
   /// One-line verdict for experiment tables.
   [[nodiscard]] std::string verdict() const;
 
-  /// Hex SHA-256 over every field, in a fixed serialization order. Two runs
-  /// of the same (scenario, seed) must produce equal digests regardless of
-  /// which thread executed them — the bit-replay guarantee BatchRunner
-  /// asserts.
+  /// Hex SHA-256 over the report fields, in a fixed serialization order.
+  /// Two runs of the same (scenario, seed) must produce equal digests
+  /// regardless of which thread executed them — the bit-replay guarantee
+  /// BatchRunner asserts. `messages_dropped` is deliberately NOT hashed:
+  /// the serialization is pinned by determinism_test's golden corpus, and
+  /// appending fields would invalidate every recorded digest.
   [[nodiscard]] std::string digest() const;
 };
 

@@ -100,6 +100,47 @@ ScenarioBuilder& ScenarioBuilder::fake_pd(ProcessId id, IdSet advertised) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::crash_at(ProcessId p, SimTime at) {
+  scenario_.timeline.crash(p, at);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::recover_at(ProcessId p, SimTime at) {
+  scenario_.timeline.recover(p, at);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::drop_link(ProcessId from, ProcessId to,
+                                            SimTime at, SimTime up_at) {
+  if (up_at <= at) {
+    fail("drop_link window [" + std::to_string(at) + ", " +
+         std::to_string(up_at) + ") is empty");
+  }
+  scenario_.timeline.link_down(from, to, at, up_at);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::partition(IdSet group_a, IdSet group_b,
+                                            SimTime at, SimTime heal_at) {
+  if (heal_at <= at) {
+    fail("partition window [" + std::to_string(at) + ", " +
+         std::to_string(heal_at) + ") is empty");
+  }
+  scenario_.timeline.partition(std::move(group_a), std::move(group_b), at,
+                               heal_at);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::join_at(ProcessId p, SimTime at) {
+  scenario_.timeline.join(p, at);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::fault_timeline(sim::FaultTimeline timeline) {
+  scenario_.timeline = std::move(timeline);
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::discovery_period(SimTime period) {
   scenario_.discovery_period = period;
   return *this;
@@ -173,6 +214,39 @@ Scenario ScenarioBuilder::build() const {
   }
   if (!s.fake_pds.empty() && s.byz != ByzBehavior::kFakePd) {
     fail("fake PDs are set but the Byzantine behavior is not kFakePd");
+  }
+  for (const sim::FaultAction& action : s.timeline.actions()) {
+    if (action.at < 0) {
+      fail(std::string(to_string(action.kind)) +
+           " fault action scheduled at negative time");
+    }
+    switch (action.kind) {
+      case sim::FaultAction::Kind::kCrash:
+      case sim::FaultAction::Kind::kRecover:
+      case sim::FaultAction::Kind::kJoin:
+        if (!vertices.contains(action.subject)) {
+          fail(std::string(to_string(action.kind)) + " fault action targets " +
+               to_string(action.subject) + ", which is not a graph vertex");
+        }
+        break;
+      case sim::FaultAction::Kind::kLinkDown:
+      case sim::FaultAction::Kind::kLinkUp:
+        if (!vertices.contains(action.subject) ||
+            !vertices.contains(action.peer)) {
+          fail("link fault action references a non-vertex endpoint");
+        }
+        break;
+      case sim::FaultAction::Kind::kPartition:
+      case sim::FaultAction::Kind::kHeal:
+        if (!action.group_a.is_subset_of(vertices) ||
+            !action.group_b.is_subset_of(vertices)) {
+          fail("partition groups must be subsets of the graph vertices");
+        }
+        if (!action.group_a.set_intersection(action.group_b).empty()) {
+          fail("partition groups must be disjoint");
+        }
+        break;
+    }
   }
   if (s.discovery_period <= 0) fail("discovery_period must be positive");
   if (s.pbft_base_timeout <= 0) fail("pbft_base_timeout must be positive");

@@ -64,6 +64,29 @@ class ScenarioBuilder {
                                  Value value);
   ScenarioBuilder& fake_pd(ProcessId id, IdSet advertised);
 
+  // --- fault timeline (dynamic adversary) ---------------------------------
+  // Scheduled faults interleave with deliveries under the deterministic
+  // (time, seq) order; see sim/fault_timeline.hpp for the exact semantics.
+  // A crashed *correct* process cannot decide, so a crash without a matching
+  // recover_at before the horizon yields NO-TERMINATION by construction.
+
+  /// Process `p` stops receiving (and therefore sending) at `at`.
+  ScenarioBuilder& crash_at(ProcessId p, SimTime at);
+  /// Process `p` comes back up at `at` and re-arms its periodic machinery.
+  ScenarioBuilder& recover_at(ProcessId p, SimTime at);
+  /// Messages sent from->to inside [at, up_at) are lost. Throws
+  /// ScenarioError unless up_at > at.
+  ScenarioBuilder& drop_link(ProcessId from, ProcessId to, SimTime at,
+                             SimTime up_at);
+  /// Bidirectional outage between the two groups over [at, heal_at).
+  /// Throws ScenarioError unless heal_at > at.
+  ScenarioBuilder& partition(IdSet group_a, IdSet group_b, SimTime at,
+                             SimTime heal_at);
+  /// Defers `p`'s start to `at` (late join / churn).
+  ScenarioBuilder& join_at(ProcessId p, SimTime at);
+  /// Replaces the whole script (for timelines assembled elsewhere).
+  ScenarioBuilder& fault_timeline(sim::FaultTimeline timeline);
+
   ScenarioBuilder& discovery_period(SimTime period);
   ScenarioBuilder& pbft_base_timeout(SimTime timeout);
   ScenarioBuilder& delay_policy(

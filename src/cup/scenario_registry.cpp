@@ -369,6 +369,94 @@ void register_generated(ScenarioRegistry& registry) {
   }
 }
 
+void register_dynamic(ScenarioRegistry& registry) {
+  // The paper's adversary controls *when* faults manifest, not just which
+  // processes are faulty; this family exercises the FaultTimeline. The
+  // scenarios run the same protocols as their static counterparts — only
+  // the fault schedule differs.
+  registry.add({"dyn/crash-mid-discovery",
+                "Fig. 1b graph with nobody Byzantine (the f=1 budget is "
+                "spent on a timed crash instead): sink member 2 crashes "
+                "during the first discovery round and recovers at t=5000; "
+                "recovery re-polls and re-fetches, and the run solves",
+                {"dynamic", "fault-timeline", "fig1", "auth"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1b())
+                      .faulty(IdSet{})
+                      .mode(Mode::kAuth)
+                      .seed(seed)
+                      .crash_at(p(2), 5)
+                      .recover_at(p(2), 5'000)
+                      .horizon(2'000'000);
+                }});
+  registry.add({"dyn/crash-beyond-budget",
+                "Fig. 1b: Byzantine 4 already spends the f=1 budget, then "
+                "correct sink member 2 crashes at t=60 and never recovers — "
+                "two faults against f=1, so termination fails (witness "
+                "that timed crashes count against the fault budget)",
+                {"dynamic", "fault-timeline", "fig1", "auth", "witness"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1b())
+                      .mode(Mode::kAuth)
+                      .seed(seed)
+                      .crash_at(p(2), 60)
+                      .horizon(150'000);
+                }});
+  registry.add({"dyn/partition-heal-before-gst",
+                "Fig. 2a: {1,2} and {3,4} are partitioned from t=0; the "
+                "partition heals at t=20000, before GST=30000 — partial "
+                "synchrony subsumes the outage and consensus solves",
+                {"dynamic", "fault-timeline", "fig2", "auth"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig2a())
+                      .mode(Mode::kAuth)
+                      .seed(seed)
+                      .gst(30'000)
+                      .partition({p(1), p(2)}, {p(3), p(4)}, 0, 20'000)
+                      .horizon(2'000'000);
+                }});
+  registry.add({"dyn/staggered-join",
+                "Fig. 1b: sink members 2 and 3 join late (t=200, t=400) "
+                "instead of starting at t=0; periodic discovery re-polls "
+                "absorb the churn and the run still solves",
+                {"dynamic", "fault-timeline", "fig1", "auth"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1b())
+                      .mode(Mode::kAuth)
+                      .seed(seed)
+                      .join_at(p(2), 200)
+                      .join_at(p(3), 400)
+                      .horizon(2'000'000);
+                }});
+  registry.add({"dyn/link-flap",
+                "Fig. 1b: both directions of the 1<->2 link are down for "
+                "[0, 2000); redundant knowledge paths plus re-polls after "
+                "the window keep the run solvable",
+                {"dynamic", "fault-timeline", "fig1", "auth"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1b())
+                      .mode(Mode::kAuth)
+                      .seed(seed)
+                      .drop_link(p(1), p(2), 0, 2'000)
+                      .drop_link(p(2), p(1), 0, 2'000)
+                      .horizon(2'000'000);
+                }});
+  registry.add({"dyn/crash-mid-consensus",
+                "Fig. 4a (CUPFT): core member 2 crashes at t=30, while "
+                "discovery/consensus is in flight, and recovers at t=10000; "
+                "the remaining core members reach quorum without it and the "
+                "recovery re-fetch brings it to the same value",
+                {"dynamic", "fault-timeline", "fig4", "cupft"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig4a())
+                      .mode(Mode::kCupft)
+                      .seed(seed)
+                      .crash_at(p(2), 30)
+                      .recover_at(p(2), 10'000)
+                      .horizon(2'000'000);
+                }});
+}
+
 ScenarioRegistry build_paper_registry() {
   ScenarioRegistry registry;
   register_table1(registry);
@@ -377,6 +465,7 @@ ScenarioRegistry build_paper_registry() {
   register_fig3(registry);
   register_fig4(registry);
   register_generated(registry);
+  register_dynamic(registry);
   return registry;
 }
 

@@ -1,0 +1,57 @@
+// Immutable, refcounted message payload.
+//
+// A broadcast to n peers used to deep-copy the flat Message (PD vectors,
+// quorum certs) once per recipient and again into every queued event.
+// Protocols now build the payload once, freeze it behind a MessageRef, and
+// every fan-out edge is a refcount bump. The canonical wire size is computed
+// once at construction, so the simulator charges traffic metrics per send
+// without re-encoding the payload each time.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "msg/message.hpp"
+
+namespace bftcup::msg {
+
+class MessageRef {
+ public:
+  /// Null ref. Only ever observed inside the simulator (timer events carry
+  /// no payload); a delivery always holds a non-null ref.
+  MessageRef() = default;
+
+  /// Takes ownership of `m`. The payload is immutable from here on — anyone
+  /// wanting to alter a message (e.g. RRB path extension, Byzantine
+  /// mutation) copies `**this` into a fresh Message first.
+  [[nodiscard]] static MessageRef make(Message m) {
+    return MessageRef(std::make_shared<const Payload>(std::move(m)));
+  }
+
+  [[nodiscard]] const Message& operator*() const { return payload_->message; }
+  [[nodiscard]] const Message* operator->() const {
+    return &payload_->message;
+  }
+  [[nodiscard]] explicit operator bool() const { return payload_ != nullptr; }
+
+  /// Canonical wire size in bytes, cached at construction.
+  [[nodiscard]] std::size_t encoded_size() const {
+    return payload_->encoded_size;
+  }
+
+ private:
+  struct Payload {
+    explicit Payload(Message m)
+        : message(std::move(m)), encoded_size(message.encoded_size()) {}
+    Message message;
+    std::size_t encoded_size;
+  };
+
+  explicit MessageRef(std::shared_ptr<const Payload> payload)
+      : payload_(std::move(payload)) {}
+
+  std::shared_ptr<const Payload> payload_;
+};
+
+}  // namespace bftcup::msg

@@ -7,7 +7,7 @@ void ValueExchange::request(const IdSet& members, sim::Context& ctx) {
   needed_ = (members.size() + 1 + 1) / 2;  // ⌈(|S|+1)/2⌉
   msg::Message m;
   m.type = msg::MsgType::kGetDecidedVal;
-  ctx.broadcast(members, m);
+  ctx.broadcast(members, msg::MessageRef::make(std::move(m)));
 }
 
 void ValueExchange::set_local_decision(Value value, sim::Context& ctx) {

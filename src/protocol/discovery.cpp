@@ -1,5 +1,7 @@
 #include "protocol/discovery.hpp"
 
+#include "protocol/timer_epoch.hpp"
+
 namespace bftcup::protocol {
 
 Discovery::Discovery(ProcessId self, IdSet own_pd, SimTime period)
@@ -21,31 +23,52 @@ void Discovery::start(sim::Context& ctx) {
 
   // Line 2: periodically poll everyone we know.
   request_all(ctx);
-  ctx.set_timer(period_, kTimerKind);
+  arm_timer(ctx);
+}
+
+void Discovery::arm_timer(sim::Context& ctx) {
+  ctx.set_timer(period_, encode_timer_kind(kTimerKind, timer_epoch_));
 }
 
 void Discovery::request_all(sim::Context& ctx) {
   ++rounds_;
-  msg::Message req;
-  req.type = msg::MsgType::kGetPds;
-  ctx.broadcast(view_.known(), req);
+  if (!request_) {
+    msg::Message req;
+    req.type = msg::MsgType::kGetPds;
+    request_ = msg::MessageRef::make(std::move(req));
+  }
+  ctx.broadcast(view_.known(), request_);
 }
 
-void Discovery::on_timer(sim::Context& ctx) {
+void Discovery::on_timer(int kind, sim::Context& ctx) {
   if (!active_) return;
+  if (!timer_epoch_matches(kind, timer_epoch_)) {
+    return;  // a restart() superseded this chain
+  }
   request_all(ctx);
-  ctx.set_timer(period_, kTimerKind);
+  arm_timer(ctx);
+}
+
+void Discovery::restart(sim::Context& ctx) {
+  if (!active_ || !started_) return;
+  ++timer_epoch_;
+  request_all(ctx);
+  arm_timer(ctx);
 }
 
 bool Discovery::handle_message(ProcessId from, const msg::Message& message,
                                sim::Context& ctx) {
   switch (message.type) {
     case msg::MsgType::kGetPds: {
-      // Line 3: answer with S_PD.
-      msg::Message reply;
-      reply.type = msg::MsgType::kSetPds;
-      reply.pds = spds_;
-      ctx.send(from, std::move(reply));
+      // Line 3: answer with S_PD. The answer is the same for every
+      // requester until S_PD grows, so one frozen payload serves them all.
+      if (!reply_cache_) {
+        msg::Message reply;
+        reply.type = msg::MsgType::kSetPds;
+        reply.pds = spds_;
+        reply_cache_ = msg::MessageRef::make(std::move(reply));
+      }
+      ctx.send(from, reply_cache_);
       return false;
     }
     case msg::MsgType::kSetPds: {
@@ -59,6 +82,7 @@ bool Discovery::handle_message(ProcessId from, const msg::Message& message,
         }
         view_.add_pd(spd.owner, spd.pd);
         spds_.push_back(spd);
+        reply_cache_ = msg::MessageRef();  // S_PD grew; rebuild on demand
         changed = true;
       }
       return changed;

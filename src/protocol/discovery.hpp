@@ -33,8 +33,15 @@ class Discovery {
 
   /// Periodic task body. Re-arms itself while `active` is true — nodes
   /// clear the flag (stop()) once they no longer need new knowledge, letting
-  /// the simulation quiesce.
-  void on_timer(sim::Context& ctx);
+  /// the simulation quiesce. `kind` carries the arming epoch (upper bits);
+  /// fires from a superseded chain are ignored, so restart() after a
+  /// crash/recovery cannot double the polling rate.
+  void on_timer(int kind, sim::Context& ctx);
+
+  /// Re-arms the periodic task after a crash/recovery may have dropped the
+  /// pending timer. Supersedes any still-pending timer (epoch bump), polls
+  /// immediately, and starts a fresh chain.
+  void restart(sim::Context& ctx);
 
   void stop() { active_ = false; }
   [[nodiscard]] bool active() const { return active_; }
@@ -51,12 +58,22 @@ class Discovery {
 
  private:
   void request_all(sim::Context& ctx);
+  void arm_timer(sim::Context& ctx);
 
   ProcessId self_;
   IdSet own_pd_;
   SimTime period_;
+  /// Bumped by restart(); stale timer fires are dropped. Stays 0 in
+  /// fault-free runs, so the timer kind stays bit-identical to the
+  /// pre-fault-timeline implementation.
+  std::uint64_t timer_epoch_ = 0;
   KnowledgeView view_;
   std::vector<msg::SignedPd> spds_;
+  /// The GETPDS request is identical every round: built once, shared.
+  msg::MessageRef request_;
+  /// The SETPDS answer is shared across requesters and rebuilt only when
+  /// S_PD grows (null = stale).
+  msg::MessageRef reply_cache_;
   bool active_ = true;
   bool started_ = false;
   std::uint64_t rounds_ = 0;

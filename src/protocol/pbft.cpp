@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "protocol/timer_epoch.hpp"
 
 namespace bftcup::protocol {
 namespace {
@@ -45,8 +46,9 @@ void PbftInstance::enter_view(std::uint32_t view, sim::Context& ctx) {
     m.view = view;
     m.value = proposal_;
     m.sig = ctx.signer().sign(msg::pbft_payload(m.type, view, proposal_));
-    ctx.broadcast(config_.members, m);
-    handle_message(self_, m, ctx);  // leaders process their own pre-prepare
+    const auto ref = msg::MessageRef::make(std::move(m));
+    ctx.broadcast(config_.members, ref);
+    handle_message(self_, *ref, ctx);  // leaders process their own pre-prepare
   }
 }
 
@@ -57,8 +59,9 @@ void PbftInstance::broadcast_phase(msg::MsgType phase, std::uint32_t view,
   m.view = view;
   m.value = value;
   m.sig = ctx.signer().sign(msg::pbft_payload(phase, view, value));
-  ctx.broadcast(config_.members, m);
-  record_vote(phase, view, value, self_, m.sig, ctx);
+  const auto ref = msg::MessageRef::make(std::move(m));
+  ctx.broadcast(config_.members, ref);
+  record_vote(phase, view, value, self_, ref->sig, ctx);
 }
 
 void PbftInstance::record_vote(msg::MsgType phase, std::uint32_t view,
@@ -122,7 +125,7 @@ void PbftInstance::decide_with_cert(Value value, msg::QuorumCert cert,
   m.cert = decide_cert_;
   m.sig = ctx.signer().sign(
       msg::pbft_payload(m.type, decide_cert_->view, value));
-  ctx.broadcast(config_.members, m);
+  ctx.broadcast(config_.members, msg::MessageRef::make(std::move(m)));
 }
 
 bool PbftInstance::verify_cert(const msg::QuorumCert& cert,
@@ -142,8 +145,7 @@ void PbftInstance::arm_view_timer(std::uint32_t view, sim::Context& ctx) {
   const SimTime timeout =
       config_.base_timeout << std::min<std::uint32_t>(view, kMaxBackoffShift);
   // Timers cannot be cancelled; encode the epoch so stale fires are ignored.
-  ctx.set_timer(timeout,
-                kTimerKind | static_cast<int>(timer_epoch_ % 0x7fffff) << 8);
+  ctx.set_timer(timeout, encode_timer_kind(kTimerKind, timer_epoch_));
 }
 
 void PbftInstance::start_view_change(std::uint32_t target_view,
@@ -161,7 +163,7 @@ void PbftInstance::start_view_change(std::uint32_t target_view,
   m.cert = prepared_cert_;
   m.sig = ctx.signer().sign(
       msg::pbft_payload(m.type, target_view, m.value));
-  ctx.broadcast(config_.members, m);
+  ctx.broadcast(config_.members, msg::MessageRef::make(std::move(m)));
 
   view_changes_[target_view][self_] = prepared_cert_;
   maybe_assume_leadership(target_view, ctx);
@@ -188,8 +190,9 @@ void PbftInstance::maybe_assume_leadership(std::uint32_t view,
   m.value = value;
   m.cert = best;
   m.sig = ctx.signer().sign(msg::pbft_payload(m.type, view, value));
-  ctx.broadcast(config_.members, m);
-  handle_message(self_, m, ctx);
+  const auto ref = msg::MessageRef::make(std::move(m));
+  ctx.broadcast(config_.members, ref);
+  handle_message(self_, *ref, ctx);
 }
 
 bool PbftInstance::handle_message(ProcessId from, const msg::Message& message,
@@ -289,10 +292,20 @@ bool PbftInstance::handle_message(ProcessId from, const msg::Message& message,
   return true;
 }
 
+void PbftInstance::rearm_view_timer(sim::Context& ctx) {
+  if (!started_ || decided_) return;
+  // Supersede any pre-crash timer still in flight: if it fires after the
+  // recovery it must read as stale, or every recovery would add another
+  // live timer chain.
+  ++timer_epoch_;
+  arm_view_timer(view_, ctx);
+}
+
 void PbftInstance::on_timer(int kind, sim::Context& ctx) {
   if ((kind & 0xff) != kTimerKind || decided_ || !started_) return;
-  const auto epoch = static_cast<std::uint64_t>(kind >> 8);
-  if (epoch != timer_epoch_ % 0x7fffff) return;  // stale timer from old view
+  if (!timer_epoch_matches(kind, timer_epoch_)) {
+    return;  // stale timer from an old view or a pre-recovery chain
+  }
   start_view_change(highest_requested_ + 1, ctx);
 }
 

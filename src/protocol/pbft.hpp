@@ -49,6 +49,10 @@ class PbftInstance {
   /// View timer; re-arms via view changes until a decision is reached.
   void on_timer(int kind, sim::Context& ctx);
 
+  /// Re-arms the current view's timeout after a crash/recovery dropped it
+  /// (timers addressed to a downed process lapse; see FaultTimeline).
+  void rearm_view_timer(sim::Context& ctx);
+
   [[nodiscard]] bool decided() const { return decided_.has_value(); }
   [[nodiscard]] Value decision() const { return *decided_; }
   [[nodiscard]] std::uint32_t view() const { return view_; }

@@ -28,7 +28,7 @@ void RrbDiscovery::flood_own(sim::Context& ctx) {
   m.type = msg::MsgType::kRrbForward;
   m.origin = self_;
   m.origin_pd = own_pd_;
-  ctx.broadcast(contacts_, m);
+  ctx.broadcast(contacts_, msg::MessageRef::make(std::move(m)));
 }
 
 void RrbDiscovery::on_timer(sim::Context& ctx) {
@@ -40,12 +40,15 @@ void RrbDiscovery::on_timer(sim::Context& ctx) {
 void RrbDiscovery::forward(const msg::Message& original, sim::Context& ctx) {
   msg::Message m = original;
   m.path.push_back(self_);
+  // One frozen copy with the extended path serves every relay target.
+  const auto ref = msg::MessageRef::make(std::move(m));
   for (ProcessId next : contacts_) {
-    if (next == m.origin) continue;
-    if (std::find(m.path.begin(), m.path.end(), next) != m.path.end()) {
+    if (next == ref->origin) continue;
+    if (std::find(ref->path.begin(), ref->path.end(), next) !=
+        ref->path.end()) {
       continue;  // no cycles
     }
-    ctx.send(next, m);
+    ctx.send(next, ref);
   }
 }
 

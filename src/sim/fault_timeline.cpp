@@ -1,0 +1,140 @@
+#include "sim/fault_timeline.hpp"
+
+#include <algorithm>
+
+namespace bftcup::sim {
+
+const char* to_string(FaultAction::Kind kind) {
+  switch (kind) {
+    case FaultAction::Kind::kCrash:
+      return "CRASH";
+    case FaultAction::Kind::kRecover:
+      return "RECOVER";
+    case FaultAction::Kind::kLinkDown:
+      return "LINK-DOWN";
+    case FaultAction::Kind::kLinkUp:
+      return "LINK-UP";
+    case FaultAction::Kind::kPartition:
+      return "PARTITION";
+    case FaultAction::Kind::kHeal:
+      return "HEAL";
+    case FaultAction::Kind::kJoin:
+      return "JOIN";
+  }
+  return "?";
+}
+
+FaultTimeline& FaultTimeline::crash(ProcessId p, SimTime at) {
+  FaultAction action;
+  action.kind = FaultAction::Kind::kCrash;
+  action.at = at;
+  action.subject = p;
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+FaultTimeline& FaultTimeline::recover(ProcessId p, SimTime at) {
+  FaultAction action;
+  action.kind = FaultAction::Kind::kRecover;
+  action.at = at;
+  action.subject = p;
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+FaultTimeline& FaultTimeline::link_down(ProcessId from, ProcessId to,
+                                        SimTime at, SimTime up_at) {
+  FaultAction down;
+  down.kind = FaultAction::Kind::kLinkDown;
+  down.at = at;
+  down.subject = from;
+  down.peer = to;
+  actions_.push_back(std::move(down));
+
+  FaultAction up;
+  up.kind = FaultAction::Kind::kLinkUp;
+  up.at = up_at;
+  up.subject = from;
+  up.peer = to;
+  actions_.push_back(std::move(up));
+  return *this;
+}
+
+FaultTimeline& FaultTimeline::partition(IdSet group_a, IdSet group_b,
+                                        SimTime at, SimTime heal_at) {
+  FaultAction cut;
+  cut.kind = FaultAction::Kind::kPartition;
+  cut.at = at;
+  cut.group_a = group_a;
+  cut.group_b = group_b;
+  actions_.push_back(std::move(cut));
+
+  FaultAction heal;
+  heal.kind = FaultAction::Kind::kHeal;
+  heal.at = heal_at;
+  heal.group_a = std::move(group_a);
+  heal.group_b = std::move(group_b);
+  actions_.push_back(std::move(heal));
+  return *this;
+}
+
+FaultTimeline& FaultTimeline::join(ProcessId p, SimTime at) {
+  FaultAction action;
+  action.kind = FaultAction::Kind::kJoin;
+  action.at = at;
+  action.subject = p;
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+void FaultTimeline::reset_runtime() {
+  down_links_.clear();
+  partitions_.clear();
+}
+
+void FaultTimeline::apply(const FaultAction& action) {
+  switch (action.kind) {
+    case FaultAction::Kind::kLinkDown:
+      down_links_.emplace_back(action.subject, action.peer);
+      break;
+    case FaultAction::Kind::kLinkUp: {
+      // Erase ONE matching entry: overlapping identical windows each
+      // contribute their own down entry, and each up event ends only its
+      // own window.
+      auto it = std::find(down_links_.begin(), down_links_.end(),
+                          std::pair(action.subject, action.peer));
+      if (it != down_links_.end()) down_links_.erase(it);
+      break;
+    }
+    case FaultAction::Kind::kPartition:
+      partitions_.emplace_back(action.group_a, action.group_b);
+      break;
+    case FaultAction::Kind::kHeal: {
+      auto it = std::find_if(
+          partitions_.begin(), partitions_.end(), [&action](const auto& p) {
+            return p.first == action.group_a && p.second == action.group_b;
+          });
+      if (it != partitions_.end()) partitions_.erase(it);
+      break;
+    }
+    case FaultAction::Kind::kCrash:
+    case FaultAction::Kind::kRecover:
+    case FaultAction::Kind::kJoin:
+      break;  // per-process up/down state lives in the simulator's table
+  }
+}
+
+bool FaultTimeline::is_link_down(ProcessId from, ProcessId to) const {
+  for (const auto& [a, b] : down_links_) {
+    if (a == from && b == to) return true;
+  }
+  for (const auto& [group_a, group_b] : partitions_) {
+    if ((group_a.contains(from) && group_b.contains(to)) ||
+        (group_b.contains(from) && group_a.contains(to))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bftcup::sim

@@ -5,19 +5,28 @@
 namespace bftcup::sim {
 
 SimTime synchrony_cap(SimTime sent, const NetConfig& cfg) {
+  // The paper's clamp: delivery by max(t, GST) + δ. A message sent exactly
+  // at GST is a post-GST message (cap = GST + δ). Saturating adds: an
+  // "asynchronous" run uses gst near kSimTimeMax.
   const SimTime base = std::max(sent, cfg.gst);
-  // Saturating add: an "asynchronous" run uses gst near kSimTimeMax.
-  if (base > kSimTimeMax - cfg.delta) return kSimTimeMax;
-  return base + cfg.delta;
+  const SimTime capped =
+      base > kSimTimeMax - cfg.delta ? kSimTimeMax : base + cfg.delta;
+  // The cap never undercuts the physical floor sent + min_delay: when a
+  // channel is configured with min_delay > δ, the floor wins and the
+  // message is delivered at exactly its floor (enforced here so wrapping
+  // policies that clamp to the cap cannot deliver before the floor either).
+  const SimTime floor =
+      sent > kSimTimeMax - cfg.min_delay ? kSimTimeMax : sent + cfg.min_delay;
+  return std::max(capped, floor);
 }
 
 SimTime RandomDelayPolicy::delivery_time(ProcessId /*from*/, ProcessId /*to*/,
                                          SimTime sent, Rng& rng,
                                          const NetConfig& cfg) {
   const SimTime lo = sent + cfg.min_delay;
-  const SimTime hi = std::max(lo, synchrony_cap(sent, cfg));
+  const SimTime hi = synchrony_cap(sent, cfg);  // >= lo by construction
   if (sent >= cfg.gst) {
-    // After GST: within δ.
+    // After GST: within δ (clamped to [lo, hi] when min_delay > δ).
     return std::min(hi, sent + std::max<SimTime>(cfg.min_delay,
                                                  rng.next_in(1, cfg.delta)));
   }

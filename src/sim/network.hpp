@@ -79,7 +79,11 @@ class SlowSenderPolicy final : public DelayPolicy {
   SimTime release_at_;
 };
 
-/// Clamp helper shared by policies: the partial-synchrony delivery cap.
+/// Clamp helper shared by policies: the partial-synchrony delivery cap
+/// max(sent, GST) + δ, never below the physical floor sent + min_delay.
+/// A message sent exactly at GST is post-GST: its cap is GST + δ. When
+/// min_delay > δ the configuration is over-constrained and the floor wins —
+/// policies clamping to this cap therefore still honor min_delay.
 [[nodiscard]] SimTime synchrony_cap(SimTime sent, const NetConfig& cfg);
 
 }  // namespace bftcup::sim

@@ -5,6 +5,7 @@
 #include "common/types.hpp"
 #include "crypto/signer.hpp"
 #include "msg/message.hpp"
+#include "msg/message_ref.hpp"
 
 namespace bftcup::sim {
 
@@ -23,7 +24,14 @@ class Context {
   [[nodiscard]] ProcessId self() const { return self_; }
 
   void send(ProcessId to, msg::Message message);
+  /// Zero-copy send: the payload is shared, not copied into the queue.
+  void send(ProcessId to, msg::MessageRef message);
+
+  /// Convenience broadcast: freezes `message` into one shared payload, then
+  /// fans out refcount bumps. Prefer the MessageRef overload when the same
+  /// payload is reused across calls (periodic polls, cached replies).
   void broadcast(const IdSet& to, const msg::Message& message);
+  void broadcast(const IdSet& to, const msg::MessageRef& message);
 
   /// Arms a one-shot timer firing `delay` from now with the given kind.
   void set_timer(SimTime delay, int kind);
@@ -57,6 +65,11 @@ class Process {
   virtual void on_message(ProcessId from, const msg::Message& message,
                           Context& ctx) = 0;
   virtual void on_timer(int kind, Context& ctx);
+
+  /// Called when a FaultTimeline recovery brings this process back up.
+  /// Timers armed before the crash were dropped while it was down; override
+  /// to re-arm periodic machinery. Default: do nothing.
+  virtual void on_recover(Context& ctx);
 
  private:
   ProcessId id_;

@@ -1,0 +1,28 @@
+#include "sim/process_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bftcup::sim {
+
+void ProcessTable::add(std::unique_ptr<Process> process, crypto::Signer signer,
+                       Rng rng) {
+  assert(!finalized_ && "processes must be added before the run starts");
+  const ProcessId id = process->id();
+  assert(!index_.contains(id) && "duplicate process id");
+  index_.emplace(id, static_cast<std::uint32_t>(slots_.size()));
+  slots_.push_back(Slot{std::move(process), signer, std::move(rng)});
+}
+
+void ProcessTable::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  std::sort(slots_.begin(), slots_.end(), [](const Slot& a, const Slot& b) {
+    return a.process->id() < b.process->id();
+  });
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    index_[slots_[i].process->id()] = i;
+  }
+}
+
+}  // namespace bftcup::sim

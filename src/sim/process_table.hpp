@@ -1,0 +1,73 @@
+// Dense per-process storage for the simulator hot path.
+//
+// The seed simulator kept three std::map<ProcessId, …> tables (process,
+// signer, per-process rng) and paid tree walks on every dispatched event.
+// A ProcessTable resolves a ProcessId to a dense index with one hash lookup
+// and keeps everything a dispatch touches in a single slot vector. Slots are
+// sorted by id when the table is finalized, so start-up order — and with it
+// the seeded bit-replay digest — matches the old map iteration exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hpp"
+#include "crypto/signer.hpp"
+#include "sim/process.hpp"
+
+namespace bftcup::sim {
+
+class ProcessTable {
+ public:
+  struct Slot {
+    std::unique_ptr<Process> process;
+    crypto::Signer signer;
+    Rng rng;
+    // Fault state. Joined/crashed are orthogonal so crash/recover/join
+    // actions compose in any order; on_start fires exactly once, at the
+    // first moment the process is up.
+    bool joined = true;    ///< false until a late joiner's kJoin action
+    bool crashed = false;  ///< true between kCrash and kRecover
+    bool started = false;  ///< on_start has run
+
+    [[nodiscard]] bool up() const { return joined && !crashed; }
+  };
+
+  static constexpr std::uint32_t kNoIndex = 0xffffffffU;
+
+  [[nodiscard]] bool contains(ProcessId id) const {
+    return index_.contains(id);
+  }
+
+  /// Registers a process. Must precede finalize(); duplicate ids are the
+  /// caller's bug.
+  void add(std::unique_ptr<Process> process, crypto::Signer signer, Rng rng);
+
+  /// Sorts slots by id and rebuilds the dense index. Called once when the
+  /// run starts; idempotent.
+  void finalize();
+
+  /// Dense index for `id`, or kNoIndex. Valid only after finalize().
+  [[nodiscard]] std::uint32_t index_of(ProcessId id) const {
+    auto it = index_.find(id);
+    return it == index_.end() ? kNoIndex : it->second;
+  }
+
+  [[nodiscard]] Slot& slot(std::uint32_t index) { return slots_[index]; }
+
+  [[nodiscard]] Slot* find(ProcessId id) {
+    const std::uint32_t index = index_of(id);
+    return index == kNoIndex ? nullptr : &slots_[index];
+  }
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::vector<Slot> slots_;
+  std::unordered_map<ProcessId, std::uint32_t> index_;
+  bool finalized_ = false;
+};
+
+}  // namespace bftcup::sim

@@ -7,16 +7,25 @@
 namespace bftcup::sim {
 
 void Process::on_timer(int /*kind*/, Context& /*ctx*/) {}
+void Process::on_recover(Context& /*ctx*/) {}
 
 SimTime Context::now() const {
   return sim_->now();
 }
 
 void Context::send(ProcessId to, msg::Message message) {
+  sim_->do_send(self_, to, msg::MessageRef::make(std::move(message)));
+}
+
+void Context::send(ProcessId to, msg::MessageRef message) {
   sim_->do_send(self_, to, std::move(message));
 }
 
 void Context::broadcast(const IdSet& to, const msg::Message& message) {
+  broadcast(to, msg::MessageRef::make(message));
+}
+
+void Context::broadcast(const IdSet& to, const msg::MessageRef& message) {
   for (ProcessId id : to) {
     if (id != self_) sim_->do_send(self_, id, message);
   }
@@ -27,7 +36,9 @@ void Context::set_timer(SimTime delay, int kind) {
 }
 
 const crypto::Signer& Context::signer() const {
-  return sim_->signers_.at(self_);
+  ProcessTable::Slot* slot = sim_->table_.find(self_);
+  assert(slot != nullptr);
+  return slot->signer;
 }
 
 const crypto::Verifier& Context::verifier() const {
@@ -35,7 +46,9 @@ const crypto::Verifier& Context::verifier() const {
 }
 
 Rng& Context::rng() {
-  return sim_->process_rngs_.at(self_);
+  ProcessTable::Slot* slot = sim_->table_.find(self_);
+  assert(slot != nullptr);
+  return slot->rng;
 }
 
 void Context::decide(Value value) {
@@ -56,10 +69,11 @@ Simulator::Simulator(Options options)
 void Simulator::add_process(std::unique_ptr<Process> process) {
   assert(!started_ && "processes must be added before run()");
   const ProcessId id = process->id();
-  assert(!processes_.contains(id) && "duplicate process id");
-  signers_.emplace(id, crypto::Signer(id, &registry_));
-  process_rngs_.emplace(id, rng_.fork(id.raw() + 17));
-  processes_.emplace(id, std::move(process));
+  assert(!table_.contains(id) && "duplicate process id");
+  // Fork order is add order — part of the replay contract.
+  crypto::Signer signer(id, &registry_);
+  Rng process_rng = rng_.fork(id.raw() + 17);
+  table_.add(std::move(process), signer, std::move(process_rng));
 }
 
 void Simulator::set_stop_condition(std::function<bool(const Trace&)> cond) {
@@ -70,9 +84,19 @@ void Simulator::set_delay_policy(std::unique_ptr<DelayPolicy> policy) {
   policy_ = std::move(policy);
 }
 
-void Simulator::do_send(ProcessId from, ProcessId to, msg::Message message) {
+void Simulator::set_fault_timeline(FaultTimeline timeline) {
+  assert(!started_ && "the fault timeline must be set before run()");
+  timeline_ = std::move(timeline);
+}
+
+void Simulator::do_send(ProcessId from, ProcessId to, msg::MessageRef message) {
   trace_.record_send(message.encoded_size());
-  if (!processes_.contains(to)) {
+  if (timeline_active_ && timeline_.is_link_down(from, to)) {
+    // Lost on the wire: sent (and counted as such), never queued.
+    trace_.record_drop();
+    return;
+  }
+  if (!table_.contains(to)) {
     // Sending to an id that does not exist (e.g. learned from a lying PD)
     // silently drops: there is no process to deliver to.
     return;
@@ -108,27 +132,124 @@ void Simulator::do_report_membership(ProcessId who, const IdSet& members) {
   trace_.record_membership(who, members, now_);
 }
 
+void Simulator::schedule_fault_actions() {
+  const auto& actions = timeline_.actions();
+  // Late joiners start down; their kJoin action brings them up. (A join at
+  // t=0 flips the slot back up in the apply pass below, before the start
+  // loop — equivalent to a normal start.)
+  for (const FaultAction& action : actions) {
+    if (action.kind != FaultAction::Kind::kJoin) continue;
+    if (ProcessTable::Slot* slot = table_.find(action.subject)) {
+      slot->joined = false;
+    }
+  }
+  // Fault actions apply before any same-time event. For t=0 that includes
+  // the on_start calls themselves — a window opening at 0 must already be
+  // in force when start-up traffic is sent — so t=0 actions are applied
+  // here instead of queued. Later actions are queued first (low seq), so
+  // at equal times faults still precede deliveries and timers.
+  for (std::uint32_t i = 0; i < actions.size(); ++i) {
+    if (actions[i].at <= 0) {
+      apply_fault(actions[i]);
+      continue;
+    }
+    if (actions[i].at >= options_.horizon) continue;
+    Event ev;
+    ev.time = actions[i].at;
+    ev.seq = next_seq_++;
+    ev.kind = Event::Kind::kFault;
+    ev.fault_index = i;
+    queue_.push(std::move(ev));
+  }
+}
+
+/// Starts the process if this transition made it up for the first time,
+/// or resumes it if it was already started. Must be called after a slot's
+/// joined/crashed state changed upward.
+void Simulator::start_or_resume(ProcessTable::Slot& slot) {
+  if (!slot.up()) return;
+  Context ctx(this, slot.process->id());
+  if (!slot.started) {
+    slot.started = true;
+    slot.process->on_start(ctx);
+  } else {
+    slot.process->on_recover(ctx);
+  }
+}
+
+void Simulator::apply_fault(const FaultAction& action) {
+  LOG_DEBUG("sim") << "fault " << to_string(action.kind) << " at t=" << now_;
+  timeline_.apply(action);
+  ProcessTable::Slot* slot = table_.find(action.subject);
+  switch (action.kind) {
+    case FaultAction::Kind::kCrash:
+      if (slot != nullptr) slot->crashed = true;
+      break;
+    case FaultAction::Kind::kRecover:
+      if (slot != nullptr && slot->crashed) {
+        slot->crashed = false;
+        start_or_resume(*slot);
+      }
+      break;
+    case FaultAction::Kind::kJoin:
+      if (slot != nullptr && !slot->joined) {
+        slot->joined = true;
+        start_or_resume(*slot);
+      }
+      break;
+    case FaultAction::Kind::kLinkDown:
+    case FaultAction::Kind::kLinkUp:
+    case FaultAction::Kind::kPartition:
+    case FaultAction::Kind::kHeal:
+      break;  // link state lives inside the timeline
+  }
+}
+
 void Simulator::run() {
   started_ = true;
-  for (auto& [id, process] : processes_) {
-    Context ctx(this, id);
-    process->on_start(ctx);
+  table_.finalize();
+  timeline_.reset_runtime();
+  timeline_active_ = !timeline_.empty();
+  if (timeline_active_) schedule_fault_actions();
+
+  for (std::uint32_t i = 0; i < table_.size(); ++i) {
+    ProcessTable::Slot& slot = table_.slot(i);
+    // Down (late joiner / crashed at t=0) slots are started by their fault
+    // action; a join at t=0 may have started its process already.
+    if (!slot.up() || slot.started) continue;
+    slot.started = true;
+    Context ctx(this, slot.process->id());
+    slot.process->on_start(ctx);
   }
+
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    // Moving from top() is safe: the comparator reads only time/seq, which
+    // the moved-from element retains.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     assert(ev.time >= now_);
     now_ = ev.time;
     if (now_ >= options_.horizon) break;
 
-    auto it = processes_.find(ev.to);
-    if (it == processes_.end()) continue;
+    if (ev.kind == Event::Kind::kFault) {
+      apply_fault(timeline_.actions()[ev.fault_index]);
+      continue;  // fault actions never touch the trace; skip the stop check
+    }
+
+    const std::uint32_t index = table_.index_of(ev.to);
+    if (index == ProcessTable::kNoIndex) continue;
+    ProcessTable::Slot& slot = table_.slot(index);
+    if (!slot.up()) {
+      // Crashed or not yet joined: deliveries are lost, timers lapse.
+      if (ev.kind == Event::Kind::kDelivery) trace_.record_drop();
+      continue;
+    }
     Context ctx(this, ev.to);
     if (ev.kind == Event::Kind::kDelivery) {
       trace_.record_delivery();
-      it->second->on_message(ev.from, ev.message, ctx);
+      slot.process->on_message(ev.from, *ev.message, ctx);
     } else {
-      it->second->on_timer(ev.timer_kind, ctx);
+      slot.process->on_timer(ev.timer_kind, ctx);
     }
     if (stop_ && stop_(trace_)) break;
   }

@@ -1,18 +1,25 @@
 // Deterministic discrete-event simulator.
 //
-// Owns the processes, the key registry (simulated PKI), the delay policy,
-// the event queue, and the trace. Single-threaded; all nondeterminism flows
-// from the seeded Rng, so a (seed, topology, policy) triple replays
-// bit-identically.
+// Owns the processes (a dense ProcessTable), the key registry (simulated
+// PKI), the delay policy, the fault timeline, the event queue, and the
+// trace. Single-threaded; all nondeterminism flows from the seeded Rng, so a
+// (seed, topology, policy, timeline) tuple replays bit-identically.
+//
+// The event queue is the hot path of every experiment sweep: an Event is a
+// small POD-ish record whose message payload is a refcounted MessageRef, so
+// queue churn moves ~64 bytes and a refcount instead of deep-copying PD
+// vectors and quorum certs per queued delivery.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <queue>
 
+#include "msg/message_ref.hpp"
+#include "sim/fault_timeline.hpp"
 #include "sim/network.hpp"
 #include "sim/process.hpp"
+#include "sim/process_table.hpp"
 #include "sim/trace.hpp"
 
 namespace bftcup::sim {
@@ -35,6 +42,12 @@ class Simulator {
 
   void set_delay_policy(std::unique_ptr<DelayPolicy> policy);
 
+  /// Installs the fault script. The simulator keeps its own copy; runtime
+  /// fault state never leaks back into the caller's timeline. An empty
+  /// timeline is free and leaves the run byte-identical to a timeline-less
+  /// one.
+  void set_fault_timeline(FaultTimeline timeline);
+
   /// Runs to quiescence, the horizon, or the stop condition.
   void run();
 
@@ -51,14 +64,18 @@ class Simulator {
  private:
   friend class Context;
 
+  /// Queue record. Deliveries reference a shared immutable payload; timers
+  /// and fault actions carry no payload at all.
   struct Event {
     SimTime time = 0;
     std::uint64_t seq = 0;  ///< FIFO tie-break => determinism
-    enum class Kind { kDelivery, kTimer } kind = Kind::kDelivery;
     ProcessId from;
     ProcessId to;
-    msg::Message message;
-    int timer_kind = 0;
+    msg::MessageRef message;
+    std::int32_t timer_kind = 0;
+    std::uint32_t fault_index = 0;  ///< into FaultTimeline::actions()
+    enum class Kind : std::uint8_t { kDelivery, kTimer, kFault };
+    Kind kind = Kind::kDelivery;
   };
   struct EventAfter {
     bool operator()(const Event& a, const Event& b) const {
@@ -68,19 +85,23 @@ class Simulator {
   };
 
   // Context entry points.
-  void do_send(ProcessId from, ProcessId to, msg::Message message);
+  void do_send(ProcessId from, ProcessId to, msg::MessageRef message);
   void do_set_timer(ProcessId who, SimTime delay, int kind);
   void do_decide(ProcessId who, Value value);
   void do_report_membership(ProcessId who, const IdSet& members);
+
+  void schedule_fault_actions();
+  void apply_fault(const FaultAction& action);
+  void start_or_resume(ProcessTable::Slot& slot);
 
   Options options_;
   Rng rng_;
   crypto::KeyRegistry registry_;
   crypto::Verifier verifier_;
   std::unique_ptr<DelayPolicy> policy_;
-  std::map<ProcessId, std::unique_ptr<Process>> processes_;
-  std::map<ProcessId, crypto::Signer> signers_;
-  std::map<ProcessId, Rng> process_rngs_;
+  ProcessTable table_;
+  FaultTimeline timeline_;
+  bool timeline_active_ = false;
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
   std::uint64_t next_seq_ = 0;
   SimTime now_ = 0;

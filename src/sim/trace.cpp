@@ -18,6 +18,10 @@ void Trace::record_delivery() {
   ++messages_delivered_;
 }
 
+void Trace::record_drop() {
+  ++messages_dropped_;
+}
+
 void Trace::record_membership(ProcessId who, const IdSet& members,
                               SimTime time) {
   memberships_.emplace(who, members);

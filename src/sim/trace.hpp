@@ -18,6 +18,9 @@ class Trace {
   void record_decision(ProcessId who, Value value, SimTime time);
   void record_send(std::size_t bytes);
   void record_delivery();
+  /// A sent message lost to a fault (downed link, crashed or not-yet-joined
+  /// recipient) instead of delivered.
+  void record_drop();
   void record_membership(ProcessId who, const IdSet& members, SimTime time);
 
   [[nodiscard]] const std::map<ProcessId, Decision>& decisions() const {
@@ -33,6 +36,9 @@ class Trace {
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const {
     return messages_delivered_;
+  }
+  [[nodiscard]] std::uint64_t messages_dropped() const {
+    return messages_dropped_;
   }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
 
@@ -55,6 +61,7 @@ class Trace {
   std::map<ProcessId, SimTime> membership_times_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;
 };
 

@@ -24,7 +24,7 @@ class Probe : public sim::Process {
   }
   void on_timer(int kind, sim::Context& ctx) override {
     if ((kind & 0xff) == protocol::Discovery::kTimerKind) {
-      discovery_.on_timer(ctx);
+      discovery_.on_timer(kind, ctx);
     }
   }
   const protocol::KnowledgeView& view() const { return discovery_.view(); }

@@ -61,7 +61,7 @@ TEST(AttackCorpusTest, ReplayedSignedPdsAreIdempotent) {
   });
   victim->on_timer_do([discovery](int kind, sim::Context& ctx) {
     if ((kind & 0xff) == protocol::Discovery::kTimerKind) {
-      discovery->on_timer(ctx);
+      discovery->on_timer(kind, ctx);
     }
   });
   simulator.add_process(std::move(victim));

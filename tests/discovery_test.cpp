@@ -24,7 +24,7 @@ class DiscoveryOnlyProcess : public sim::Process {
     discovery_.handle_message(from, message, ctx);
   }
   void on_timer(int kind, sim::Context& ctx) override {
-    if ((kind & 0xff) == Discovery::kTimerKind) discovery_.on_timer(ctx);
+    if ((kind & 0xff) == Discovery::kTimerKind) discovery_.on_timer(kind, ctx);
   }
 
   Discovery& discovery() { return discovery_; }

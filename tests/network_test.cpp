@@ -1,0 +1,111 @@
+// Regression tests for the partial-synchrony clamp (paper §II-A): a message
+// sent at time t is delivered by max(t, GST) + δ, never before t + min_delay.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+
+namespace bftcup::sim {
+namespace {
+
+ProcessId p(std::uint64_t raw) {
+  return ProcessId(raw);
+}
+
+TEST(SynchronyCapTest, SentExactlyAtGstIsPostGst) {
+  // The boundary message is a post-GST message: its cap is GST + δ, not
+  // GST + δ plus pre-GST slack.
+  NetConfig cfg;
+  cfg.gst = 1'000;
+  cfg.delta = 10;
+  EXPECT_EQ(synchrony_cap(1'000, cfg), 1'010);
+  // One tick earlier is still capped at GST + δ...
+  EXPECT_EQ(synchrony_cap(999, cfg), 1'010);
+  // ...one tick later moves the cap with the send time.
+  EXPECT_EQ(synchrony_cap(1'001, cfg), 1'011);
+}
+
+TEST(SynchronyCapTest, CapNeverUndercutsMinDelayFloor) {
+  NetConfig cfg;
+  cfg.gst = 0;
+  cfg.delta = 5;
+  cfg.min_delay = 20;  // over-constrained: floor beats δ
+  EXPECT_EQ(synchrony_cap(100, cfg), 120);
+  // With min_delay <= δ the cap is the classic max(t, GST) + δ.
+  cfg.min_delay = 1;
+  EXPECT_EQ(synchrony_cap(100, cfg), 105);
+}
+
+TEST(SynchronyCapTest, SaturatesNearTheTimeLimit) {
+  NetConfig cfg;
+  cfg.gst = kSimTimeMax - 5;
+  cfg.delta = 100;
+  EXPECT_EQ(synchrony_cap(0, cfg), kSimTimeMax);
+  // The floor saturates too.
+  cfg.gst = 0;
+  cfg.delta = 1;
+  cfg.min_delay = 100;
+  EXPECT_EQ(synchrony_cap(kSimTimeMax - 5, cfg), kSimTimeMax);
+}
+
+TEST(RandomDelayPolicyTest, SentExactlyAtGstDeliversWithinDelta) {
+  NetConfig cfg;
+  cfg.gst = 500;
+  cfg.delta = 10;
+  Rng rng(11);
+  RandomDelayPolicy policy;
+  for (int i = 0; i < 300; ++i) {
+    const SimTime t = policy.delivery_time(p(1), p(2), 500, rng, cfg);
+    EXPECT_GT(t, 500);
+    EXPECT_LE(t, 510);
+  }
+}
+
+TEST(RandomDelayPolicyTest, MinDelayAboveDeltaDeliversAtTheFloorPostGst) {
+  NetConfig cfg;
+  cfg.gst = 0;
+  cfg.delta = 5;
+  cfg.min_delay = 20;
+  Rng rng(7);
+  RandomDelayPolicy policy;
+  for (int i = 0; i < 100; ++i) {
+    // The post-GST window [sent + min_delay, sent + δ] is empty; the floor
+    // wins and delivery lands exactly on it.
+    EXPECT_EQ(policy.delivery_time(p(1), p(2), 100, rng, cfg), 120);
+  }
+}
+
+TEST(RandomDelayPolicyTest, MinDelayAboveDeltaPreGstStaysInWindow) {
+  NetConfig cfg;
+  cfg.gst = 1'000;
+  cfg.delta = 5;
+  cfg.min_delay = 20;
+  Rng rng(7);
+  RandomDelayPolicy policy;
+  for (int i = 0; i < 300; ++i) {
+    const SimTime t = policy.delivery_time(p(1), p(2), 100, rng, cfg);
+    EXPECT_GE(t, 120);     // never before the floor
+    EXPECT_LE(t, 1'005);   // never after max(t, GST) + δ
+  }
+}
+
+TEST(WrappedPolicyTest, StretchClampCannotBeatTheFloor) {
+  // Regression: the stretch policies clamp to synchrony_cap; before the fix
+  // a min_delay > δ configuration let that clamp deliver *earlier* than the
+  // physical floor.
+  NetConfig cfg;
+  cfg.gst = 0;
+  cfg.delta = 5;
+  cfg.min_delay = 20;
+  Rng rng(3);
+  SlowSenderPolicy slow(std::make_unique<RandomDelayPolicy>(), IdSet{p(9)},
+                        /*release_at=*/2);
+  GroupStretchPolicy stretch(std::make_unique<RandomDelayPolicy>(),
+                             IdSet{p(1)}, IdSet{p(2)}, /*release_at=*/2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(slow.delivery_time(p(9), p(1), 100, rng, cfg), 120);
+    EXPECT_GE(stretch.delivery_time(p(1), p(2), 100, rng, cfg), 120);
+  }
+}
+
+}  // namespace
+}  // namespace bftcup::sim

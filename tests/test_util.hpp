@@ -31,6 +31,10 @@ class ScriptedProcess : public sim::Process {
     timer_ = std::move(fn);
     return *this;
   }
+  ScriptedProcess& on_recover_do(StartFn fn) {
+    recover_ = std::move(fn);
+    return *this;
+  }
 
   void on_start(sim::Context& ctx) override {
     if (start_) start_(ctx);
@@ -42,11 +46,15 @@ class ScriptedProcess : public sim::Process {
   void on_timer(int kind, sim::Context& ctx) override {
     if (timer_) timer_(kind, ctx);
   }
+  void on_recover(sim::Context& ctx) override {
+    if (recover_) recover_(ctx);
+  }
 
  private:
   StartFn start_;
   MessageFn message_;
   TimerFn timer_;
+  StartFn recover_;
 };
 
 }  // namespace bftcup::test
