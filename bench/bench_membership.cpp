@@ -1,0 +1,283 @@
+// Membership-engine throughput: the algorithmic core behind every PD merge.
+//
+// Two workloads, each at n ∈ {16, 64, 128} processes, each run cold (every
+// cache layer off — the pre-engine code path) and incremental (dirty-SCC
+// candidate reuse, per-S1 split memo, shared evaluation cache, signature
+// memo):
+//
+//  - incr-reeval/<strategy>: one observer's KnowledgeView absorbs the PDs
+//    of a random_cupft system in a shuffled order and re-runs the candidate
+//    search after every add_pd — exactly what maybe_find_membership does per
+//    SETPDS merge. Measures evaluations/sec over the whole sequence.
+//  - discovery/exhaustive: full run_scenario wall time (discovery to
+//    membership to decision) on a generated CUPFT system, caches on vs off.
+//
+// Emits BENCH_membership.json (cold/incremental pairs + speedups) so the
+// repo's perf trajectory is recorded; tools/check_bench_regression.py gates
+// CI on the incremental numbers.
+//
+// Usage: bench_membership [output.json] [--quick]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cup/scenario_builder.hpp"
+#include "protocol/eval_cache.hpp"
+#include "protocol/sink_search.hpp"
+
+namespace bftcup::bench {
+namespace {
+
+struct Result {
+  std::string workload;
+  std::string strategy;
+  std::string mode;  ///< "cold" | "incremental"
+  std::size_t n = 0;
+  std::uint64_t evals = 0;
+  double seconds = 0.0;
+  // Discovery workload only: where the run's crypto/search effort went.
+  std::uint64_t eval_hits = 0;
+  std::uint64_t sig_computed = 0;
+  std::uint64_t sig_hits = 0;
+
+  [[nodiscard]] double evals_per_sec() const {
+    return seconds > 0 ? static_cast<double>(evals) / seconds : 0.0;
+  }
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr std::size_t kCoreSize = 8;
+
+/// The incr-reeval system: a complete core (the sink the search must find,
+/// small enough for exhaustive enumeration) plus a periphery of directed
+/// 3-cycles, each member also pointing at two core members. The knowledge
+/// graph decomposes into one core SCC and many small periphery SCCs — the
+/// regime the engine targets: one SETPDS perturbs one component while the
+/// rest stay clean.
+graph::Digraph make_sharded_graph(std::size_t n) {
+  graph::Digraph g;
+  for (std::uint64_t a = 1; a <= kCoreSize; ++a) {
+    for (std::uint64_t b = 1; b <= kCoreSize; ++b) {
+      if (a != b) g.add_edge(ProcessId(a), ProcessId(b));
+    }
+  }
+  for (std::uint64_t base = kCoreSize + 1; base + 2 <= n; base += 3) {
+    for (std::uint64_t k = 0; k < 3; ++k) {
+      const std::uint64_t id = base + k;
+      g.add_edge(ProcessId(id), ProcessId(base + (k + 1) % 3));
+      // Two *distinct* core contacts per periphery member.
+      g.add_edge(ProcessId(id), ProcessId(id % kCoreSize + 1));
+      g.add_edge(ProcessId(id), ProcessId((id + 3) % kCoreSize + 1));
+    }
+  }
+  return g;
+}
+
+/// One observer view re-evaluated after every add_pd, like a node does per
+/// SETPDS merge: first the shuffled build-up of the whole system, then a
+/// steady-state phase where straggler PDs trickle in (each a fresh singleton
+/// SCC) and the membership rule re-fires on an otherwise stable view.
+/// `incremental` toggles every engine layer this workload can reach
+/// (strategy memos; there is no cross-node sharing here).
+template <typename Strategy>
+Result run_incr_reeval_once(std::size_t n, bool incremental,
+                            const char* strategy) {
+  const graph::Digraph g = make_sharded_graph(n);
+  std::vector<std::pair<ProcessId, IdSet>> pds;
+  for (ProcessId id : g.vertices()) {
+    pds.emplace_back(id, g.out_neighbors(id));
+  }
+  Rng rng(7);
+  rng.shuffle(pds);
+  // Steady-state stragglers: late processes whose PD names a core member.
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    pds.emplace_back(ProcessId(1000 + s), IdSet{ProcessId(s % kCoreSize + 1)});
+  }
+
+  protocol::SearchOptions options;
+  options.incremental = incremental;
+  const Strategy search(options);
+
+  std::uint64_t evals = 0;
+  std::size_t candidates_seen = 0;  // defeat dead-code elimination
+  const double t0 = now_seconds();
+  protocol::KnowledgeView view(pds.front().first, pds.front().second);
+  for (std::size_t i = 1; i < pds.size(); ++i) {
+    view.add_pd(pds[i].first, pds[i].second);
+    candidates_seen += search.candidates(view).size();
+    ++evals;
+  }
+  const double elapsed = now_seconds() - t0;
+  // Keep the accumulated candidate count observable so the search calls
+  // cannot be elided.
+  volatile std::size_t sink = candidates_seen;
+  (void)sink;
+
+  Result result;
+  result.workload = "incr-reeval";
+  result.strategy = strategy;
+  result.mode = incremental ? "incremental" : "cold";
+  result.n = n;
+  result.evals = evals;
+  result.seconds = elapsed;
+  return result;
+}
+
+/// Best-of-3: the speedup ratio feeds the CI gate, so a single scheduler
+/// hiccup in a ~10 ms leg must not move the recorded number.
+template <typename Strategy>
+Result run_incr_reeval(std::size_t n, bool incremental, const char* strategy) {
+  Result best = run_incr_reeval_once<Strategy>(n, incremental, strategy);
+  for (int rep = 1; rep < 3; ++rep) {
+    Result r = run_incr_reeval_once<Strategy>(n, incremental, strategy);
+    if (r.seconds < best.seconds) best = r;
+  }
+  return best;
+}
+
+/// Full simulation: discovery to membership to decision, every node
+/// evaluating per merge. Incremental additionally shares the evaluation
+/// cache across nodes and memoizes signature checks.
+Result run_discovery(std::size_t n, bool incremental) {
+  const auto report = cup::ScenarioBuilder(make_sharded_graph(n))
+                          .mode(cup::Mode::kCupft)
+                          .seed(11)
+                          .horizon(400'000)
+                          .caching(incremental)
+                          .run();
+
+  Result result;
+  result.workload = "discovery";
+  result.strategy = "exhaustive";
+  result.mode = incremental ? "incremental" : "cold";
+  result.n = n;
+  result.evals = report.evaluations;
+  result.eval_hits = report.eval_cache_hits;
+  result.sig_computed = report.signatures_verified;
+  result.sig_hits = report.signatures_cached;
+  return result;
+}
+
+Result timed_discovery(std::size_t n, bool incremental) {
+  const double t0 = now_seconds();
+  Result result = run_discovery(n, incremental);
+  result.seconds = now_seconds() - t0;
+  return result;
+}
+
+const Result* find(const std::vector<Result>& results, const Result& like) {
+  for (const Result& r : results) {
+    if (r.workload == like.workload && r.strategy == like.strategy &&
+        r.n == like.n && r.mode == "cold") {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void write_json(const std::string& path, const std::vector<Result>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_membership: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"membership\",\n");
+  std::fprintf(f, "  \"baseline_commit\": \"3374ac2 (pre incremental membership engine)\",\n");
+  std::fprintf(f, "  \"results\": [\n");
+  bool first = true;
+  for (const Result& r : results) {
+    if (r.mode != "incremental") continue;  // cold runs feed the speedup only
+    const Result* cold = find(results, r);
+    const double speedup =
+        (cold != nullptr && r.seconds > 0 && cold->seconds > 0)
+            ? cold->evals_per_sec() > 0
+                  ? r.evals_per_sec() / cold->evals_per_sec()
+                  : cold->seconds / r.seconds
+            : 0.0;
+    std::fprintf(f,
+                 "%s    {\"workload\": \"%s\", \"strategy\": \"%s\", \"n\": "
+                 "%zu, \"evals\": %llu, \"seconds\": %.6f, \"evals_per_sec\": "
+                 "%.0f, \"cold_seconds\": %.6f, \"speedup_vs_cold\": %.3f",
+                 first ? "" : ",\n", r.workload.c_str(), r.strategy.c_str(),
+                 r.n, static_cast<unsigned long long>(r.evals), r.seconds,
+                 r.evals_per_sec(), cold != nullptr ? cold->seconds : 0.0,
+                 speedup);
+    if (r.workload == "discovery") {
+      // Wall time here is messaging-bound (the run decides within ~100
+      // ticks) and the single ~ms measurement is too noisy to gate on; the
+      // caches' effect shows up as memoized work instead. "gate": false
+      // tells check_bench_regression.py to report but not enforce the row.
+      std::fprintf(f,
+                   ", \"eval_hits\": %llu, \"signatures_computed\": %llu, "
+                   "\"signatures_memoized\": %llu, \"gate\": false",
+                   static_cast<unsigned long long>(r.eval_hits),
+                   static_cast<unsigned long long>(r.sig_computed),
+                   static_cast<unsigned long long>(r.sig_hits));
+    }
+    std::fprintf(f, "}");
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+void print_row(const Result& r, const std::vector<Result>& results) {
+  double speedup = 0.0;
+  if (r.mode == "incremental") {
+    if (const Result* cold = find(results, r); cold != nullptr) {
+      speedup = cold->seconds > 0 ? cold->seconds / r.seconds : 0.0;
+    }
+  }
+  std::printf("%-14s %-11s %-12s %5zu %9llu %10.3f %12.0f %8.2fx\n",
+              r.workload.c_str(), r.strategy.c_str(), r.mode.c_str(), r.n,
+              static_cast<unsigned long long>(r.evals), r.seconds,
+              r.evals_per_sec(), speedup);
+}
+
+}  // namespace
+}  // namespace bftcup::bench
+
+int main(int argc, char** argv) {
+  using namespace bftcup::bench;
+  std::string out = "BENCH_membership.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      out = argv[i];
+    }
+  }
+
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{16, 64}
+            : std::vector<std::size_t>{16, 64, 128};
+
+  std::vector<Result> results;
+  std::printf("%-14s %-11s %-12s %5s %9s %10s %12s %9s\n", "workload",
+              "strategy", "mode", "n", "evals", "seconds", "evals/sec",
+              "speedup");
+  for (std::size_t n : sizes) {
+    for (const bool incremental : {false, true}) {
+      results.push_back(run_incr_reeval<bftcup::protocol::ExhaustiveSinkSearch>(
+          n, incremental, "exhaustive"));
+      print_row(results.back(), results);
+      results.push_back(run_incr_reeval<bftcup::protocol::StructuredSinkSearch>(
+          n, incremental, "structured"));
+      print_row(results.back(), results);
+      results.push_back(timed_discovery(n, incremental));
+      print_row(results.back(), results);
+    }
+  }
+  write_json(out, results);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

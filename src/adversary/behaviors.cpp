@@ -88,8 +88,9 @@ void ByzantineNode::on_message(ProcessId from, const msg::Message& message,
       if (!config_.relay_pds) return;
       for (const msg::SignedPd& spd : message.pds) {
         if (view_.pd_of(spd.owner) != nullptr) continue;
-        const Bytes payload = msg::SignedPd::payload(spd.owner, spd.pd);
-        if (!ctx.verifier().verify(spd.owner, payload, spd.sig)) continue;
+        msg::SignedPd::payload_into(spd.owner, spd.pd, payload_scratch_);
+        if (!ctx.verifier().verify(spd.owner, payload_scratch_, spd.sig))
+          continue;
         view_.add_pd(spd.owner, spd.pd);
         spds_.push_back(spd);
       }

@@ -62,6 +62,7 @@ class ByzantineNode final : public sim::Process {
   ByzantineConfig config_;
   std::vector<msg::SignedPd> spds_;  ///< own fake PD + relayed genuine PDs
   protocol::KnowledgeView view_;
+  Bytes payload_scratch_;  ///< reused verify buffer (see Discovery)
   bool signed_own_ = false;
   bool equivocated_ = false;
 };

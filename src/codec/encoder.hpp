@@ -15,6 +15,14 @@ namespace bftcup::codec {
 
 class Encoder {
  public:
+  Encoder() = default;
+
+  /// Encodes into `reuse`'s storage: the buffer is cleared but its capacity
+  /// is kept, so hot paths that encode the same payload shape repeatedly
+  /// (signature verification loops) stop allocating per call. Retrieve the
+  /// result with take().
+  explicit Encoder(Bytes&& reuse) : out_(std::move(reuse)) { out_.clear(); }
+
   void put_u8(std::uint8_t v);
   void put_u32(std::uint32_t v);
   void put_u64(std::uint64_t v);

@@ -53,6 +53,10 @@ class FlatSet {
     return true;
   }
 
+  /// Pre-allocates capacity for `n` elements (hot enumeration loops build
+  /// many small sets of a known size).
+  void reserve(std::size_t n) { items_.reserve(n); }
+
   [[nodiscard]] std::size_t size() const { return items_.size(); }
   [[nodiscard]] bool empty() const { return items_.empty(); }
   [[nodiscard]] const_iterator begin() const { return items_.begin(); }

@@ -133,4 +133,10 @@ Bytes digest_bytes(const Digest& d) {
   return Bytes(d.begin(), d.end());
 }
 
+void sha256_update_u64(Sha256& hasher, std::uint64_t v) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  hasher.update(BytesView(buf, sizeof(buf)));
+}
+
 }  // namespace bftcup::crypto

@@ -32,6 +32,10 @@ class Sha256 {
 
 [[nodiscard]] Digest sha256(BytesView data);
 
+/// Streams a little-endian u64 into a running hash — the canonical integer
+/// encoding for content digests (view digests, verification memo keys).
+void sha256_update_u64(Sha256& hasher, std::uint64_t v);
+
 /// Digest as a byte vector (convenient for codec/signature plumbing).
 [[nodiscard]] Bytes digest_bytes(const Digest& d);
 

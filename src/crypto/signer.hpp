@@ -7,6 +7,7 @@
 #pragma once
 
 #include "crypto/keys.hpp"
+#include "crypto/verify_cache.hpp"
 
 namespace bftcup::crypto {
 
@@ -27,15 +28,24 @@ class Signer {
 
 class Verifier {
  public:
-  explicit Verifier(KeyRegistry* registry) : registry_(registry) {}
+  /// Without a cache every verify() recomputes the MAC; with one, repeated
+  /// (signer, payload, signature) triples — re-delivered SignedPds, quorum
+  /// certificates, forgery floods — are served from the memo (accepts and
+  /// rejects alike; see crypto/verify_cache.hpp).
+  explicit Verifier(KeyRegistry* registry, VerifyCache* cache = nullptr)
+      : registry_(registry), cache_(cache) {}
 
   [[nodiscard]] bool verify(ProcessId signer, BytesView message,
                             const Signature& sig) const {
+    if (cache_ != nullptr) {
+      return cache_->verify(*registry_, signer, message, sig);
+    }
     return registry_->verify(signer, message, sig);
   }
 
  private:
   KeyRegistry* registry_;
+  VerifyCache* cache_;
 };
 
 }  // namespace bftcup::crypto

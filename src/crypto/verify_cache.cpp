@@ -1,0 +1,35 @@
+#include "crypto/verify_cache.hpp"
+
+namespace bftcup::crypto {
+namespace {
+
+/// Collision-resistant key over the full verification input. Streaming —
+/// no intermediate buffer is materialized.
+Digest cache_key(ProcessId signer, BytesView message, const Signature& sig) {
+  Sha256 hasher;
+  static constexpr std::uint8_t kDomain[] = {'v', 'f', 'y'};
+  hasher.update(BytesView(kDomain, sizeof(kDomain)));
+  sha256_update_u64(hasher, signer.raw());
+  sha256_update_u64(hasher, message.size());
+  hasher.update(message);
+  hasher.update(BytesView(sig.bytes.data(), sig.bytes.size()));
+  return hasher.finalize();
+}
+
+}  // namespace
+
+bool VerifyCache::verify(KeyRegistry& registry, ProcessId signer,
+                         BytesView message, const Signature& sig) {
+  ++stats_.lookups;
+  if (!memo_enabled_) return registry.verify(signer, message, sig);
+  const Digest key = cache_key(signer, message, sig);
+  if (auto it = memo_.find(key); it != memo_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  const bool ok = registry.verify(signer, message, sig);
+  memo_.emplace(key, ok);
+  return ok;
+}
+
+}  // namespace bftcup::crypto

@@ -1,0 +1,59 @@
+// Signature-verification memo.
+//
+// The simulation re-delivers the same signed artifacts many times: every
+// SETPDS reply repeats previously seen SignedPds (including Byzantine
+// forgeries, which honest nodes must reject on every delivery), and every
+// PBFT-DECIDE certificate re-verifies the same quorum of COMMIT shares at
+// each recipient. Verification is deterministic — a pure function of
+// (signer, payload, signature) under the simulated PKI — so both accepts
+// and *rejects* are safely memoizable. A hit costs one SHA-256 pass over
+// the key material instead of the full HMAC-SHA256 recompute (two HMAC
+// passes plus the redundancy digest), and no allocation.
+//
+// One cache per Simulator: single-threaded by construction, and scoping it
+// to the run keeps replay bit-identical (results are value-equal either
+// way; see README "Membership engine caching").
+#pragma once
+
+#include <cstring>
+#include <unordered_map>
+
+#include "crypto/keys.hpp"
+
+namespace bftcup::crypto {
+
+class VerifyCache {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;  ///< verify() calls routed through the cache
+    std::uint64_t hits = 0;     ///< served from the memo (no HMAC recompute)
+  };
+
+  /// `memo_enabled` = false keeps the counters (so reports can still show
+  /// how many verifications a run performs) but never serves from the memo.
+  explicit VerifyCache(bool memo_enabled = true)
+      : memo_enabled_(memo_enabled) {}
+
+  /// Memoized KeyRegistry::verify.
+  [[nodiscard]] bool verify(KeyRegistry& registry, ProcessId signer,
+                            BytesView message, const Signature& sig);
+
+  [[nodiscard]] bool memo_enabled() const { return memo_enabled_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct DigestHash {
+    std::size_t operator()(const Digest& d) const {
+      // The key is itself a SHA-256 digest; its prefix is already uniform.
+      std::size_t h = 0;
+      std::memcpy(&h, d.data(), sizeof(h));
+      return h;
+    }
+  };
+
+  bool memo_enabled_;
+  std::unordered_map<Digest, bool, DigestHash> memo_;
+  Stats stats_;
+};
+
+}  // namespace bftcup::crypto

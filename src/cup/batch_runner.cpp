@@ -88,6 +88,10 @@ RunRecord summarize(std::string scenario, std::uint64_t seed,
   record.delivered = report.messages_delivered;
   record.bytes = report.bytes_sent;
   record.value = report.common_value.value_or(0);
+  record.evaluations = report.evaluations;
+  record.eval_hits = report.eval_cache_hits;
+  record.signatures = report.signatures_verified;
+  record.sig_hits = report.signatures_cached;
   record.digest = report.digest();
   return record;
 }
@@ -129,6 +133,10 @@ std::vector<ScenarioStats> BatchReport::scenarios() const {
     if (run.latency >= 0) latencies[index].push_back(run.latency);
     s.messages_total += run.messages;
     s.bytes_total += run.bytes;
+    s.evaluations_total += run.evaluations;
+    s.eval_hits_total += run.eval_hits;
+    s.signatures_total += run.signatures;
+    s.sig_hits_total += run.sig_hits;
   }
   for (std::size_t i = 0; i < stats.size(); ++i) {
     auto& lat = latencies[i];
@@ -154,6 +162,11 @@ std::vector<const RunRecord*> BatchReport::runs_of(
 namespace {
 
 constexpr const char* kRunsCsvHeader =
+    "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
+    "delivered,bytes,value,evaluations,eval_hits,signatures,sig_hits,digest";
+
+/// Pre-cache-counter header, still accepted on import (see from_runs_csv).
+constexpr const char* kLegacyRunsCsvHeader =
     "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
     "delivered,bytes,value,digest";
 
@@ -186,6 +199,10 @@ std::string BatchReport::runs_csv() const {
     out += ',' + std::to_string(r.delivered);
     out += ',' + std::to_string(r.bytes);
     out += ',' + std::to_string(r.value);
+    out += ',' + std::to_string(r.evaluations);
+    out += ',' + std::to_string(r.eval_hits);
+    out += ',' + std::to_string(r.signatures);
+    out += ',' + std::to_string(r.sig_hits);
     out += ',' + r.digest;
     out += '\n';
   }
@@ -197,17 +214,25 @@ BatchReport BatchReport::from_runs_csv(const std::string& csv) {
   std::istringstream in(csv);
   std::string line;
   bool header = true;
+  // 16 = current format; 12 = the pre-cache-counter format, still accepted
+  // so persisted sweep outputs keep loading (counters read 0). Rows must
+  // match the arity their header announced — a mixed file is corrupt.
+  std::size_t expected_fields = 0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     if (header) {
-      if (line != kRunsCsvHeader) {
+      if (line == kRunsCsvHeader) {
+        expected_fields = 16;
+      } else if (line == kLegacyRunsCsvHeader) {
+        expected_fields = 12;
+      } else {
         throw std::invalid_argument("BatchReport: unexpected CSV header");
       }
       header = false;
       continue;
     }
     const auto fields = split(line, ',');
-    if (fields.size() != 12) {
+    if (fields.size() != expected_fields) {
       throw std::invalid_argument("BatchReport: malformed CSV row: " + line);
     }
     RunRecord r;
@@ -222,7 +247,13 @@ BatchReport BatchReport::from_runs_csv(const std::string& csv) {
     r.delivered = std::stoull(fields[8]);
     r.bytes = std::stoull(fields[9]);
     r.value = std::stoull(fields[10]);
-    r.digest = fields[11];
+    if (fields.size() == 16) {
+      r.evaluations = std::stoull(fields[11]);
+      r.eval_hits = std::stoull(fields[12]);
+      r.signatures = std::stoull(fields[13]);
+      r.sig_hits = std::stoull(fields[14]);
+    }
+    r.digest = fields.back();
     runs.push_back(std::move(r));
   }
   return BatchReport(std::move(runs));
@@ -232,7 +263,8 @@ std::string BatchReport::summary_csv() const {
   std::string out =
       "scenario,runs,solved,pass_rate,agreement_violations,"
       "validity_violations,non_terminations,latency_min,latency_p50,"
-      "latency_p99,latency_max,messages_total,bytes_total\n";
+      "latency_p99,latency_max,messages_total,bytes_total,evaluations_total,"
+      "eval_hits_total,signatures_total,sig_hits_total\n";
   for (const ScenarioStats& s : scenarios()) {
     char rate[32];
     std::snprintf(rate, sizeof(rate), "%.4f", s.pass_rate());
@@ -250,6 +282,10 @@ std::string BatchReport::summary_csv() const {
     out += ',' + std::to_string(s.latency_max);
     out += ',' + std::to_string(s.messages_total);
     out += ',' + std::to_string(s.bytes_total);
+    out += ',' + std::to_string(s.evaluations_total);
+    out += ',' + std::to_string(s.eval_hits_total);
+    out += ',' + std::to_string(s.signatures_total);
+    out += ',' + std::to_string(s.sig_hits_total);
     out += '\n';
   }
   return out;
@@ -271,6 +307,10 @@ std::string BatchReport::to_json() const {
     out += ",\"delivered\":" + std::to_string(r.delivered);
     out += ",\"bytes\":" + std::to_string(r.bytes);
     out += ",\"value\":" + std::to_string(r.value);
+    out += ",\"evaluations\":" + std::to_string(r.evaluations);
+    out += ",\"eval_hits\":" + std::to_string(r.eval_hits);
+    out += ",\"signatures\":" + std::to_string(r.signatures);
+    out += ",\"sig_hits\":" + std::to_string(r.sig_hits);
     out += ",\"digest\":\"" + r.digest + "\"}";
   }
   out += "]}";
@@ -403,6 +443,14 @@ BatchReport BatchReport::from_json(const std::string& json) {
           r.bytes = cursor.unsigned_integer();
         } else if (key == "value") {
           r.value = cursor.unsigned_integer();
+        } else if (key == "evaluations") {
+          r.evaluations = cursor.unsigned_integer();
+        } else if (key == "eval_hits") {
+          r.eval_hits = cursor.unsigned_integer();
+        } else if (key == "signatures") {
+          r.signatures = cursor.unsigned_integer();
+        } else if (key == "sig_hits") {
+          r.sig_hits = cursor.unsigned_integer();
         } else if (key == "digest") {
           r.digest = cursor.string();
         } else {
@@ -421,17 +469,22 @@ BatchReport BatchReport::from_json(const std::string& json) {
 
 void BatchReport::print_summary(std::FILE* out) const {
   std::fprintf(out,
-               "%-36s %5s %9s %7s %9s %9s %9s %12s %12s\n", "scenario", "runs",
-               "pass", "viol", "lat-min", "lat-p50", "lat-p99", "messages",
-               "bytes");
+               "%-36s %5s %9s %7s %9s %9s %9s %12s %12s %9s %6s\n", "scenario",
+               "runs", "pass", "viol", "lat-min", "lat-p50", "lat-p99",
+               "messages", "bytes", "evals", "hit%");
   for (const ScenarioStats& s : scenarios()) {
+    const double hit_rate =
+        s.evaluations_total == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(s.eval_hits_total) /
+                  static_cast<double>(s.evaluations_total);
     std::fprintf(out,
                  "%-36s %5zu %8.0f%% %7zu %9" PRId64 " %9" PRId64 " %9" PRId64
-                 " %12" PRIu64 " %12" PRIu64 "\n",
+                 " %12" PRIu64 " %12" PRIu64 " %9" PRIu64 " %5.0f%%\n",
                  s.scenario.c_str(), s.runs, 100.0 * s.pass_rate(),
                  s.agreement_violations + s.validity_violations, s.latency_min,
-                 s.latency_p50, s.latency_p99, s.messages_total,
-                 s.bytes_total);
+                 s.latency_p50, s.latency_p99, s.messages_total, s.bytes_total,
+                 s.evaluations_total, hit_rate);
   }
 }
 

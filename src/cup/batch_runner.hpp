@@ -90,7 +90,12 @@ struct RunRecord {
   std::uint64_t delivered = 0;
   std::uint64_t bytes = 0;
   std::uint64_t value = 0;  ///< common decided value; 0 when none
-  std::string digest;       ///< RunReport::digest()
+  // Cache effectiveness (see RunReport): where search/crypto effort went.
+  std::uint64_t evaluations = 0;
+  std::uint64_t eval_hits = 0;
+  std::uint64_t signatures = 0;  ///< HMAC verifications computed
+  std::uint64_t sig_hits = 0;    ///< served by the verification memo
+  std::string digest;            ///< RunReport::digest()
 
   friend bool operator==(const RunRecord&, const RunRecord&) = default;
 };
@@ -115,6 +120,11 @@ struct ScenarioStats {
   std::int64_t latency_max = -1;
   std::uint64_t messages_total = 0;
   std::uint64_t bytes_total = 0;
+  // Cache effectiveness across the scenario's runs.
+  std::uint64_t evaluations_total = 0;
+  std::uint64_t eval_hits_total = 0;
+  std::uint64_t signatures_total = 0;
+  std::uint64_t sig_hits_total = 0;
 
   [[nodiscard]] double pass_rate() const {
     return runs == 0 ? 0.0

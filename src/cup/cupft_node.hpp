@@ -40,7 +40,7 @@ class CupftNode final : public CupNodeBase {
  protected:
   [[nodiscard]] std::optional<Membership> evaluate(
       const protocol::KnowledgeView& view) override {
-    const auto core = protocol::try_find_core(view, search());
+    const auto core = protocol::try_find_core(view, search(), eval_cache());
     if (!core || core->k() < options_.min_core_k) return std::nullopt;
     if (options_.require_known_closure) {
       for (ProcessId known : view.known()) {

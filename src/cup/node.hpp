@@ -16,7 +16,7 @@ class AuthCupNode final : public CupNodeBase {
  protected:
   [[nodiscard]] std::optional<Membership> evaluate(
       const protocol::KnowledgeView& view) override {
-    const auto sink = protocol::try_find_sink(view, f_, search());
+    const auto sink = protocol::try_find_sink(view, f_, search(), eval_cache());
     if (!sink) return std::nullopt;
     return Membership{sink->members, f_};
   }

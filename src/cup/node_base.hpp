@@ -19,6 +19,7 @@
 
 #include "protocol/consensus.hpp"
 #include "protocol/discovery.hpp"
+#include "protocol/eval_cache.hpp"
 #include "protocol/pbft.hpp"
 #include "protocol/sink_search.hpp"
 
@@ -40,6 +41,9 @@ class CupNodeBase : public sim::Process {
     SimTime pbft_base_timeout = 600;
     /// Shared, stateless candidate-search strategy.
     std::shared_ptr<const protocol::SinkSearch> search;
+    /// Per-simulation evaluation memo shared by every correct node (may be
+    /// null); see protocol/eval_cache.hpp.
+    std::shared_ptr<protocol::SharedEvalCache> eval_cache;
   };
 
   CupNodeBase(ProcessId id, Params params);
@@ -70,6 +74,11 @@ class CupNodeBase : public sim::Process {
 
   [[nodiscard]] const protocol::SinkSearch& search() const {
     return *params_.search;
+  }
+
+  /// Shared evaluation memo (nullptr when the scenario disables it).
+  [[nodiscard]] protocol::SharedEvalCache* eval_cache() const {
+    return params_.eval_cache.get();
   }
 
  private:

@@ -75,8 +75,14 @@ RunReport run_scenario(const Scenario& scenario) {
 
   std::shared_ptr<const protocol::SinkSearch> search = scenario.search;
   if (!search) {
-    search = std::make_shared<protocol::ExhaustiveSinkSearch>();
+    protocol::SearchOptions options;
+    options.incremental = scenario.incremental_search;
+    search = std::make_shared<protocol::ExhaustiveSinkSearch>(options);
   }
+  // Always created so evaluation counts reach the report; the memo itself
+  // honors the knob.
+  auto eval_cache =
+      std::make_shared<protocol::SharedEvalCache>(scenario.eval_cache);
 
   const IdSet vertices = scenario.graph.vertices();
   const IdSet correct = vertices.set_difference(scenario.faulty);
@@ -131,6 +137,7 @@ RunReport run_scenario(const Scenario& scenario) {
     params.discovery_period = scenario.discovery_period;
     params.pbft_base_timeout = scenario.pbft_base_timeout;
     params.search = search;
+    params.eval_cache = eval_cache;
 
     switch (scenario.mode) {
       case Mode::kAuth:
@@ -169,6 +176,11 @@ RunReport run_scenario(const Scenario& scenario) {
   report.decisions = trace.decisions();
   report.memberships = trace.memberships();
   report.membership_times = trace.membership_times();
+  report.evaluations = eval_cache->stats().evaluations;
+  report.eval_cache_hits = eval_cache->stats().hits;
+  const auto& verify_stats = simulator.verify_stats();
+  report.signatures_verified = verify_stats.lookups - verify_stats.hits;
+  report.signatures_cached = verify_stats.hits;
 
   // Validity: every decided value was somebody's proposal.
   for (const auto& [who, decision] : report.decisions) {

@@ -52,6 +52,17 @@ struct Scenario {
   std::shared_ptr<const protocol::SinkSearch> search;  ///< default: exhaustive
   /// kCupft only: enable the knowledge-closure guard (see CupftNode).
   bool cupft_known_closure = false;
+
+  // --- membership-engine cache knobs (README "Membership engine caching").
+  // All results are pure functions of their inputs, so every knob leaves
+  // run digests bit-identical; they exist for A/B benchmarks and the
+  // cache-invariance test suite. Signature memoization is `sim.verify_cache`.
+  /// Share one evaluation memo (view digest -> sink/core result) across all
+  /// correct nodes of the run.
+  bool eval_cache = true;
+  /// Dirty-SCC candidate reuse in the *default* search strategy. Ignored
+  /// when `search` is set — the provided strategy's own options govern.
+  bool incremental_search = true;
 };
 
 struct RunReport {
@@ -66,6 +77,13 @@ struct RunReport {
   /// Messages lost to fault-timeline events (always 0 without a timeline).
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  // Cache-effectiveness counters (where the run's search/crypto time went).
+  // Like messages_dropped they are excluded from digest(): they vary with
+  // the cache knobs while the replayed behavior does not.
+  std::uint64_t evaluations = 0;       ///< membership evaluations requested
+  std::uint64_t eval_cache_hits = 0;   ///< served by the shared eval memo
+  std::uint64_t signatures_verified = 0;  ///< HMAC verifications computed
+  std::uint64_t signatures_cached = 0;    ///< served by the verification memo
   std::map<ProcessId, sim::Decision> decisions;
   std::map<ProcessId, IdSet> memberships;
   std::map<ProcessId, SimTime> membership_times;

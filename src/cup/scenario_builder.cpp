@@ -168,6 +168,25 @@ ScenarioBuilder& ScenarioBuilder::closure_guard(bool enabled) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::eval_cache(bool enabled) {
+  scenario_.eval_cache = enabled;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::incremental_search(bool enabled) {
+  scenario_.incremental_search = enabled;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::verify_cache(bool enabled) {
+  scenario_.sim.verify_cache = enabled;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::caching(bool enabled) {
+  return eval_cache(enabled).incremental_search(enabled).verify_cache(enabled);
+}
+
 ScenarioBuilder& ScenarioBuilder::allow_premise_violation(bool allowed) {
   allow_premise_violation_ = allowed;
   return *this;

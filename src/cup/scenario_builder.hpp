@@ -94,6 +94,22 @@ class ScenarioBuilder {
   ScenarioBuilder& search(std::shared_ptr<const protocol::SinkSearch> search);
   ScenarioBuilder& closure_guard(bool enabled = true);
 
+  // --- membership-engine cache knobs ---------------------------------------
+  // All three layers store pure functions of immutable inputs, so toggling
+  // them cannot change a run's digest (the determinism suite asserts this);
+  // they exist for A/B benchmarks and ablations. Defaults: all enabled.
+
+  /// Per-simulation shared evaluation memo (view digest -> sink/core result).
+  ScenarioBuilder& eval_cache(bool enabled = true);
+  /// Dirty-SCC candidate reuse inside the default search strategy. Ignored
+  /// when a custom search() is installed (its own SearchOptions govern).
+  ScenarioBuilder& incremental_search(bool enabled = true);
+  /// Signature-verification memo (accepts and rejects) for the whole run.
+  ScenarioBuilder& verify_cache(bool enabled = true);
+  /// Master switch: sets all three knobs at once (`caching(false)` runs the
+  /// fully cold engine — the pre-caching code path).
+  ScenarioBuilder& caching(bool enabled);
+
   /// Witness scenarios (fig. 1a, Theorem 7) intentionally violate the
   /// protocol premise |faulty| <= f; they must say so explicitly.
   ScenarioBuilder& allow_premise_violation(bool allowed = true);

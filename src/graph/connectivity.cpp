@@ -15,9 +15,13 @@ constexpr int kInf = 1 << 29;
 /// `from` to `to`, capped at `limit`.
 int split_graph_flow(const Digraph& g, std::size_t from, std::size_t to,
                      int limit) {
+  if (limit <= 0) return 0;
   const std::size_t n = g.vertex_count();
-  // Node 2v = v_in, 2v+1 = v_out.
-  MaxFlow flow(2 * n);
+  // Node 2v = v_in, 2v+1 = v_out. The arena persists across calls (per
+  // thread; sweeps run one simulator per thread), so the κ checks that fire
+  // one flow per vertex pair reset buffers instead of reallocating them.
+  thread_local MaxFlow flow;
+  flow.reset(2 * n);
   for (std::size_t v = 0; v < n; ++v) {
     const int cap = (v == from || v == to) ? kInf : 1;
     flow.add_edge(2 * v, 2 * v + 1, cap);

@@ -6,7 +6,14 @@
 
 namespace bftcup::graph {
 
-MaxFlow::MaxFlow(std::size_t node_count) : adj_(node_count) {}
+void MaxFlow::reset(std::size_t node_count) {
+  edges_.clear();
+  // Clear only the rows the previous network used; rows keep their capacity.
+  const std::size_t reused = std::min(node_count_, adj_.size());
+  for (std::size_t v = 0; v < reused; ++v) adj_[v].clear();
+  if (adj_.size() < node_count) adj_.resize(node_count);
+  node_count_ = node_count;
+}
 
 std::size_t MaxFlow::add_edge(std::size_t from, std::size_t to, int capacity) {
   const std::size_t idx = edges_.size();
@@ -18,7 +25,7 @@ std::size_t MaxFlow::add_edge(std::size_t from, std::size_t to, int capacity) {
 }
 
 bool MaxFlow::bfs(std::size_t s, std::size_t t) {
-  level_.assign(adj_.size(), -1);
+  level_.assign(node_count_, -1);
   std::deque<std::size_t> queue{s};
   level_[s] = 0;
   while (!queue.empty()) {
@@ -55,7 +62,7 @@ int MaxFlow::run(std::size_t s, std::size_t t, int limit) {
   if (s == t) return 0;
   int flow = 0;
   while (flow < limit && bfs(s, t)) {
-    iter_.assign(adj_.size(), 0);
+    iter_.assign(node_count_, 0);
     while (flow < limit) {
       const int pushed = dfs(s, t, limit - flow);
       if (pushed == 0) break;

@@ -3,6 +3,10 @@
 // Used by connectivity.{hpp,cpp} to count internally node-disjoint paths
 // (Menger's theorem via vertex splitting). Capacities are small integers, so
 // int is ample and overflow-free.
+//
+// An instance doubles as a reusable arena: reset(n) clears the network but
+// keeps every buffer's capacity, so the κ checks that run one flow per
+// vertex pair stop paying an allocation storm per pair.
 #pragma once
 
 #include <cstddef>
@@ -12,7 +16,14 @@ namespace bftcup::graph {
 
 class MaxFlow {
  public:
-  explicit MaxFlow(std::size_t node_count);
+  /// An empty arena; call reset() before adding edges.
+  MaxFlow() = default;
+
+  explicit MaxFlow(std::size_t node_count) { reset(node_count); }
+
+  /// Re-initializes the network for `node_count` nodes, keeping allocated
+  /// capacity (edge pool, adjacency rows, BFS scratch) for reuse.
+  void reset(std::size_t node_count);
 
   /// Adds a directed edge with the given capacity; returns the edge index
   /// (the reverse edge is index+1).
@@ -20,7 +31,7 @@ class MaxFlow {
 
   /// Computes max flow from s to t, stopping early once `limit` units have
   /// been pushed (useful for "are there >= k disjoint paths" checks).
-  /// May be called once per instance.
+  /// May be called once per reset().
   int run(std::size_t s, std::size_t t, int limit = 1 << 30);
 
   /// Flow pushed on edge `e` (as returned by add_edge), valid after run().
@@ -36,6 +47,7 @@ class MaxFlow {
   bool bfs(std::size_t s, std::size_t t);
   int dfs(std::size_t u, std::size_t t, int pushed);
 
+  std::size_t node_count_ = 0;
   std::vector<Edge> edges_;
   std::vector<std::vector<std::size_t>> adj_;
   std::vector<int> level_;

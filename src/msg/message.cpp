@@ -33,11 +33,17 @@ const char* to_string(MsgType type) {
 }
 
 Bytes SignedPd::payload(ProcessId owner, const IdSet& pd) {
-  codec::Encoder enc;
+  Bytes out;
+  payload_into(owner, pd, out);
+  return out;
+}
+
+void SignedPd::payload_into(ProcessId owner, const IdSet& pd, Bytes& out) {
+  codec::Encoder enc(std::move(out));
   enc.put_string("pd");  // domain separation from PBFT payloads
   enc.put_id(owner);
   enc.put_id_set(pd);
-  return enc.take();
+  out = enc.take();
 }
 
 Bytes pbft_payload(MsgType phase, std::uint32_t view, Value value) {

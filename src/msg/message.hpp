@@ -49,6 +49,11 @@ struct SignedPd {
   /// Canonical byte encoding of (owner, pd) — the signed payload.
   [[nodiscard]] static Bytes payload(ProcessId owner, const IdSet& pd);
 
+  /// Same encoding written into `out` (cleared first), reusing its capacity.
+  /// Verification loops thread one scratch buffer through every call instead
+  /// of allocating a fresh Bytes per signature check.
+  static void payload_into(ProcessId owner, const IdSet& pd, Bytes& out);
+
   friend bool operator==(const SignedPd&, const SignedPd&) = default;
 };
 

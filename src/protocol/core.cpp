@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "protocol/eval_cache.hpp"
+
 namespace bftcup::protocol {
 
 std::optional<CoreResult> try_find_core(const KnowledgeView& view,
@@ -52,6 +54,23 @@ std::optional<CoreResult> try_find_core(const KnowledgeView& view,
   result.g = best_g;
   result.s1 = best->second.witness->s1;
   result.s2 = best->second.witness->s2;
+  return result;
+}
+
+std::optional<CoreResult> try_find_core(const KnowledgeView& view,
+                                        const SinkSearch& search,
+                                        SharedEvalCache* cache) {
+  if (cache == nullptr) return try_find_core(view, search);
+  ++cache->stats().evaluations;
+  if (!cache->memo_enabled()) return try_find_core(view, search);
+
+  EvalKey key{search.cache_key(), 0, view_digest(view)};
+  if (const auto* hit = cache->find_core(key)) {
+    ++cache->stats().hits;
+    return *hit;
+  }
+  std::optional<CoreResult> result = try_find_core(view, search);
+  cache->store_core(std::move(key), result);
   return result;
 }
 

@@ -25,7 +25,15 @@ struct CoreResult {
   [[nodiscard]] std::size_t k() const { return g + 1; }
 };
 
+class SharedEvalCache;  // protocol/eval_cache.hpp
+
 [[nodiscard]] std::optional<CoreResult> try_find_core(const KnowledgeView& view,
                                                       const SinkSearch& search);
+
+/// Memoized variant keyed by (strategy, view-content digest) in the
+/// per-simulation evaluation cache; see try_find_sink's cached overload.
+[[nodiscard]] std::optional<CoreResult> try_find_core(const KnowledgeView& view,
+                                                      const SinkSearch& search,
+                                                      SharedEvalCache* cache);
 
 }  // namespace bftcup::protocol

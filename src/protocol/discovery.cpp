@@ -76,8 +76,8 @@ bool Discovery::handle_message(ProcessId from, const msg::Message& message,
       bool changed = false;
       for (const msg::SignedPd& spd : message.pds) {
         if (view_.pd_of(spd.owner) != nullptr) continue;  // already have it
-        const Bytes payload = msg::SignedPd::payload(spd.owner, spd.pd);
-        if (!ctx.verifier().verify(spd.owner, payload, spd.sig)) {
+        msg::SignedPd::payload_into(spd.owner, spd.pd, payload_scratch_);
+        if (!ctx.verifier().verify(spd.owner, payload_scratch_, spd.sig)) {
           continue;  // forged or corrupted — ignore
         }
         view_.add_pd(spd.owner, spd.pd);

@@ -74,6 +74,9 @@ class Discovery {
   /// The SETPDS answer is shared across requesters and rebuilt only when
   /// S_PD grows (null = stale).
   msg::MessageRef reply_cache_;
+  /// Reused payload buffer for signature checks in the SETPDS merge loop —
+  /// one allocation for the node's lifetime instead of one per verify.
+  Bytes payload_scratch_;
   bool active_ = true;
   bool started_ = false;
   std::uint64_t rounds_ = 0;

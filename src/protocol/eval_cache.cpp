@@ -1,0 +1,51 @@
+#include "protocol/eval_cache.hpp"
+
+namespace bftcup::protocol {
+namespace {
+
+void hash_id_set(crypto::Sha256& hasher, const IdSet& ids) {
+  crypto::sha256_update_u64(hasher, ids.size());
+  for (ProcessId id : ids) crypto::sha256_update_u64(hasher, id.raw());
+}
+
+}  // namespace
+
+const crypto::Digest& view_digest(const KnowledgeView& view) {
+  EvalScratch& scratch = view.eval_scratch();
+  if (scratch.digest_revision != view.revision()) {
+    crypto::Sha256 hasher;
+    static constexpr std::uint8_t kDomain[] = {'v', 'i', 'e', 'w'};
+    hasher.update(BytesView(kDomain, sizeof(kDomain)));
+    hash_id_set(hasher, view.known());
+    crypto::sha256_update_u64(hasher, view.pds().size());
+    for (const auto& [owner, pd] : view.pds()) {
+      crypto::sha256_update_u64(hasher, owner.raw());
+      hash_id_set(hasher, pd);
+    }
+    scratch.digest = hasher.finalize();
+    scratch.digest_revision = view.revision();
+  }
+  return scratch.digest;
+}
+
+const std::optional<SinkResult>* SharedEvalCache::find_sink(
+    const EvalKey& key) const {
+  const auto it = sink_.find(key);
+  return it == sink_.end() ? nullptr : &it->second;
+}
+
+void SharedEvalCache::store_sink(EvalKey key, std::optional<SinkResult> result) {
+  sink_.emplace(std::move(key), std::move(result));
+}
+
+const std::optional<CoreResult>* SharedEvalCache::find_core(
+    const EvalKey& key) const {
+  const auto it = core_.find(key);
+  return it == core_.end() ? nullptr : &it->second;
+}
+
+void SharedEvalCache::store_core(EvalKey key, std::optional<CoreResult> result) {
+  core_.emplace(std::move(key), std::move(result));
+}
+
+}  // namespace bftcup::protocol

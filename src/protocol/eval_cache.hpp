@@ -1,0 +1,128 @@
+// Memoization layers of the incremental membership engine.
+//
+// Three tiers, all storing pure functions of immutable inputs (see README
+// "Membership engine caching" for the invariants and the proof sketch):
+//
+//  * EvalScratch — per-KnowledgeView memo pads, attached lazily to a view
+//    and owned by it. Holds (a) the admissible-split / κ memos keyed by
+//    canonical S1 contents — valid forever because a received S1's splits
+//    depend only on its members' PDs, which are immutable, and on known()
+//    growth that provably cannot alter them; (b) per-strategy candidate
+//    caches keyed by SCC member set — the dirty-SCC mechanism: an SCC whose
+//    member set survived the last revision is *clean* and its candidates are
+//    reused verbatim, a changed (merged/grown) SCC misses and re-enumerates;
+//    (c) the view's content digest, cached per revision.
+//
+//  * SharedEvalCache — one per simulation, shared by every correct node.
+//    Maps (strategy, parameter, view-content digest) to the sink/core search
+//    outcome, so nodes whose knowledge states converge — the common case
+//    once discovery stabilizes — pay for the exponential search once.
+//
+//  * crypto::VerifyCache (crypto/verify_cache.hpp) — the signature tier.
+//
+// Every tier is scoped to one simulator and therefore one thread.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "protocol/core.hpp"
+#include "protocol/sink.hpp"
+
+namespace bftcup::protocol {
+
+/// Per-view memo pads. Created on demand by KnowledgeView::eval_scratch();
+/// never copied between views.
+class EvalScratch {
+ public:
+  struct Stats {
+    std::uint64_t scc_hits = 0;    ///< SCCs served from the candidate cache
+    std::uint64_t scc_misses = 0;  ///< SCCs (re-)enumerated
+    std::uint64_t split_hits = 0;  ///< S1s served from the split memo
+    std::uint64_t split_misses = 0;
+  };
+
+  /// Per-S1 memo entry: κ(K[S1]) and the admissible splits derived from it.
+  /// Both are pure functions of the S1 members' immutable PDs, so entries
+  /// are revision-invariant — one connectivity computation per canonical S1
+  /// contents for the view's lifetime.
+  struct SplitMemo {
+    std::size_t kappa = 0;
+    std::vector<AdmissibleSplit> splits;
+  };
+  std::map<IdSet, SplitMemo> splits;
+
+  /// κ(K[S1]) as memoized for `s1`, or nullopt if that S1 was never costed.
+  /// Debug/ablation surface: lets tests and tooling read the connectivity a
+  /// search computed without re-running the max-flow.
+  [[nodiscard]] std::optional<std::size_t> memoized_kappa(
+      const IdSet& s1) const {
+    const auto it = splits.find(s1);
+    if (it == splits.end()) return std::nullopt;
+    return it->second.kappa;
+  }
+
+  /// Per-strategy candidate cache: SCC member set -> candidates of every
+  /// S1 the strategy derives from that SCC, in enumeration order.
+  struct StrategyCache {
+    std::uint64_t pruned_revision = ~std::uint64_t{0};
+    std::map<IdSet, std::vector<SinkCandidate>> by_scc;
+  };
+  std::map<std::string, StrategyCache> strategies;
+
+  /// Content digest of the owning view, valid while revisions match.
+  std::uint64_t digest_revision = ~std::uint64_t{0};
+  crypto::Digest digest{};
+
+  Stats stats;
+};
+
+/// SHA-256 over the view's canonical content (known set + received PDs).
+/// Equal digests imply equal views, hence equal search results for the same
+/// strategy. Cached in the view's scratch per revision.
+[[nodiscard]] const crypto::Digest& view_digest(const KnowledgeView& view);
+
+/// One entry key of the shared evaluation cache.
+struct EvalKey {
+  std::string strategy;     ///< SinkSearch::cache_key()
+  std::uint64_t param = 0;  ///< f for the Sink algorithm; unused for Core
+  crypto::Digest view{};
+
+  friend auto operator<=>(const EvalKey&, const EvalKey&) = default;
+};
+
+/// Per-simulation evaluation memo; see file comment. With the memo disabled
+/// it still counts evaluations, so reports can show search effort either way.
+class SharedEvalCache {
+ public:
+  struct Stats {
+    std::uint64_t evaluations = 0;  ///< membership evaluations requested
+    std::uint64_t hits = 0;         ///< served from the digest memo
+  };
+
+  explicit SharedEvalCache(bool memo_enabled = true)
+      : memo_enabled_(memo_enabled) {}
+
+  [[nodiscard]] bool memo_enabled() const { return memo_enabled_; }
+
+  [[nodiscard]] const std::optional<SinkResult>* find_sink(
+      const EvalKey& key) const;
+  void store_sink(EvalKey key, std::optional<SinkResult> result);
+
+  [[nodiscard]] const std::optional<CoreResult>* find_core(
+      const EvalKey& key) const;
+  void store_core(EvalKey key, std::optional<CoreResult> result);
+
+  [[nodiscard]] Stats& stats() { return stats_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  bool memo_enabled_;
+  std::map<EvalKey, std::optional<SinkResult>> sink_;
+  std::map<EvalKey, std::optional<CoreResult>> core_;
+  Stats stats_;
+};
+
+}  // namespace bftcup::protocol

@@ -1,5 +1,7 @@
 #include "protocol/sink.hpp"
 
+#include "protocol/eval_cache.hpp"
+
 namespace bftcup::protocol {
 
 std::optional<SinkResult> try_find_sink(const KnowledgeView& view,
@@ -14,6 +16,23 @@ std::optional<SinkResult> try_find_sink(const KnowledgeView& view,
     return result;
   }
   return std::nullopt;
+}
+
+std::optional<SinkResult> try_find_sink(const KnowledgeView& view,
+                                        std::size_t f, const SinkSearch& search,
+                                        SharedEvalCache* cache) {
+  if (cache == nullptr) return try_find_sink(view, f, search);
+  ++cache->stats().evaluations;
+  if (!cache->memo_enabled()) return try_find_sink(view, f, search);
+
+  EvalKey key{search.cache_key(), f, view_digest(view)};
+  if (const auto* hit = cache->find_sink(key)) {
+    ++cache->stats().hits;
+    return *hit;
+  }
+  std::optional<SinkResult> result = try_find_sink(view, f, search);
+  cache->store_sink(std::move(key), result);
+  return result;
 }
 
 }  // namespace bftcup::protocol

@@ -18,8 +18,20 @@ struct SinkResult {
   IdSet s2;
 };
 
+class SharedEvalCache;  // protocol/eval_cache.hpp
+
 [[nodiscard]] std::optional<SinkResult> try_find_sink(const KnowledgeView& view,
                                                       std::size_t f,
                                                       const SinkSearch& search);
+
+/// Memoized variant: consults the per-simulation evaluation cache keyed by
+/// (strategy, f, view-content digest) before running the search, so nodes
+/// whose knowledge states converged pay for the candidate search once. The
+/// result is a pure function of the key, hence identical with the cache on
+/// or off. `cache == nullptr` degrades to the plain overload.
+[[nodiscard]] std::optional<SinkResult> try_find_sink(const KnowledgeView& view,
+                                                      std::size_t f,
+                                                      const SinkSearch& search,
+                                                      SharedEvalCache* cache);
 
 }  // namespace bftcup::protocol

@@ -1,9 +1,11 @@
 #include "protocol/sink_predicate.hpp"
 
+#include <bit>
 #include <cassert>
 
 #include "graph/connectivity.hpp"
 #include "graph/scc.hpp"
+#include "protocol/eval_cache.hpp"
 
 namespace bftcup::protocol {
 namespace {
@@ -74,24 +76,48 @@ bool is_sink(const KnowledgeView& view, std::size_t f, const IdSet& s1,
   return derived.has_value() && *derived == s2;
 }
 
-std::vector<AdmissibleSplit> admissible_thresholds(const KnowledgeView& view,
-                                                   const IdSet& s1) {
-  std::vector<AdmissibleSplit> out;
-  if (s1.empty() || !s1.is_subset_of(view.received())) return out;
+namespace {
 
-  const graph::Digraph sub = induced_knowledge(view, s1);
-  const std::size_t kappa = graph::strong_connectivity(sub);
-  if (kappa == 0) return out;
+/// The κ + split computation proper; callers have already handled the
+/// not-fully-received early-out.
+EvalScratch::SplitMemo compute_thresholds(const KnowledgeView& view,
+                                          const IdSet& s1) {
+  EvalScratch::SplitMemo out;
+  out.kappa = graph::strong_connectivity(induced_knowledge(view, s1));
+  if (out.kappa == 0) return out;
 
   // g is bounded by P2 (g <= κ-1) and P1 (2g+1 <= |S1|).
-  const std::size_t g_max = std::min(kappa - 1, (s1.size() - 1) / 2);
+  const std::size_t g_max = std::min(out.kappa - 1, (s1.size() - 1) / 2);
   for (std::size_t g = 0; g <= g_max; ++g) {
     IdSet s2 = derive_s2(view, g, s1);
     if (escape_count(view, s1, s2) <= g) {
-      out.push_back({g, std::move(s2)});
+      out.splits.push_back({g, std::move(s2)});
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<AdmissibleSplit> admissible_thresholds(const KnowledgeView& view,
+                                                   const IdSet& s1) {
+  if (s1.empty() || !s1.is_subset_of(view.received())) return {};
+  return compute_thresholds(view, s1).splits;
+}
+
+const std::vector<AdmissibleSplit>& admissible_thresholds_memo(
+    const KnowledgeView& view, const IdSet& s1, EvalScratch& scratch) {
+  static const std::vector<AdmissibleSplit> kEmpty;
+  // A not-fully-received S1 has no splits but may gain some later; it must
+  // not be stored (the memo has no invalidation by design).
+  if (s1.empty() || !s1.is_subset_of(view.received())) return kEmpty;
+  if (const auto it = scratch.splits.find(s1); it != scratch.splits.end()) {
+    ++scratch.stats.split_hits;
+    return it->second.splits;
+  }
+  ++scratch.stats.split_misses;
+  return scratch.splits.emplace(s1, compute_thresholds(view, s1))
+      .first->second.splits;
 }
 
 std::optional<std::size_t> is_sink_star(const KnowledgeView& view,
@@ -100,11 +126,16 @@ std::optional<std::size_t> is_sink_star(const KnowledgeView& view,
   assert(base.size() <= 24 && "is_sink_star is exhaustive; candidate too big");
   const auto& ids = base.values();
   const std::size_t n = ids.size();
+  // Release-build backstop for the assert above: a 64-bit mask cannot
+  // enumerate 2^64 subsets, and shifting by >= 64 is UB. Such a candidate
+  // cannot be evaluated — report "not a sink" instead of corrupting memory.
+  if (n >= 64) return std::nullopt;
 
   std::optional<std::size_t> best;
   // Enumerate S1 ⊆ S ∩ S_received (non-empty).
   for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
     IdSet s1;
+    s1.reserve(static_cast<std::size_t>(std::popcount(mask)));
     for (std::size_t b = 0; b < n; ++b) {
       if (mask & (std::uint64_t{1} << b)) s1.insert(ids[b]);
     }

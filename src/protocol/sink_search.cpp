@@ -1,84 +1,204 @@
 #include "protocol/sink_search.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hpp"
-#include "graph/scc.hpp"
+#include "protocol/eval_cache.hpp"
 
 namespace bftcup::protocol {
 namespace {
 
-/// SCCs of the knowledge graph restricted to processes with received PDs —
-/// any strongly connected S1 (P2 needs κ >= 1) is a subset of one of these.
-std::vector<IdSet> received_sccs(const KnowledgeView& view) {
-  const graph::Digraph k = view.knowledge_graph().induced(view.received());
-  return graph::strongly_connected_components(k).members;
-}
-
-void collect_candidates_for(const KnowledgeView& view, const IdSet& s1,
-                            std::vector<SinkCandidate>& out) {
+/// Appends every admissible split of `s1` as a candidate. Shared by the cold
+/// and incremental paths; `scratch` (optional) routes the split computation
+/// through the view's per-S1 memo.
+void collect_candidates_for(const KnowledgeView& view, EvalScratch* scratch,
+                            const IdSet& s1, std::vector<SinkCandidate>& out) {
+  if (scratch != nullptr) {
+    for (const AdmissibleSplit& split :
+         admissible_thresholds_memo(view, s1, *scratch)) {
+      out.push_back({s1, split.s2, split.g});
+    }
+    return;
+  }
   for (AdmissibleSplit& split : admissible_thresholds(view, s1)) {
     out.push_back({s1, std::move(split.s2), split.g});
   }
 }
 
+/// Candidates the exhaustive strategy derives from one SCC: every non-empty
+/// subset, masks ascending.
+void enumerate_exhaustive(const KnowledgeView& view, EvalScratch* scratch,
+                          const IdSet& scc, std::vector<SinkCandidate>& out) {
+  const auto& ids = scc.values();
+  const std::size_t n = ids.size();
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+    IdSet s1;
+    s1.reserve(static_cast<std::size_t>(std::popcount(mask)));
+    for (std::size_t b = 0; b < n; ++b) {
+      if (mask & (std::uint64_t{1} << b)) s1.insert(ids[b]);
+    }
+    collect_candidates_for(view, scratch, s1, out);
+  }
+}
+
+/// Candidates the structured strategy derives from one SCC: C itself, then
+/// C \ D for every removal set D with |D| <= removal_cap.
+void enumerate_structured(const KnowledgeView& view, EvalScratch* scratch,
+                          const IdSet& scc, std::size_t removal_cap,
+                          std::vector<SinkCandidate>& out) {
+  const auto& ids = scc.values();
+  const std::size_t n = ids.size();
+  const std::size_t cap = std::min(removal_cap, n - 1);
+
+  collect_candidates_for(view, scratch, scc, out);
+  for (std::size_t d = 1; d <= cap; ++d) {
+    std::vector<std::size_t> combo(d);
+    for (std::size_t i = 0; i < d; ++i) combo[i] = i;
+    bool more = true;
+    while (more) {
+      IdSet s1 = scc;
+      for (std::size_t idx : combo) s1.erase(ids[idx]);
+      collect_candidates_for(view, scratch, s1, out);
+
+      // Advance to the next d-combination of {0..n-1}.
+      more = false;
+      for (std::size_t i = d; i-- > 0;) {
+        if (combo[i] < n - d + i) {
+          ++combo[i];
+          for (std::size_t j = i + 1; j < d; ++j) combo[j] = combo[j - 1] + 1;
+          more = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// The incremental driver shared by both strategies. Iterates the current
+/// SCC decomposition in order; an SCC whose member set is present in the
+/// strategy's cache is clean (PDs are immutable and known() growth cannot
+/// alter its candidates — README "Membership engine caching"), everything
+/// else is dirty and re-enumerated through `enumerate`, with the per-S1
+/// split memo absorbing subsets already costed in an earlier revision.
+/// Output order is identical to a cold run: current SCC order, and within
+/// an SCC the enumeration order `enumerate` defines.
+template <typename Enumerate>
+std::vector<SinkCandidate> incremental_candidates(const KnowledgeView& view,
+                                                  const std::string& cache_key,
+                                                  Enumerate&& enumerate) {
+  std::vector<SinkCandidate> out;
+  const auto& snapshot = view.received_scc_snapshot();
+  EvalScratch& scratch = view.eval_scratch();
+  EvalScratch::StrategyCache& cache = scratch.strategies[cache_key];
+
+  // Drop entries for SCCs that no longer exist (they merged into a bigger
+  // component); their subsets stay warm in the split memo.
+  if (cache.pruned_revision != view.revision()) {
+    std::vector<const IdSet*> current;
+    current.reserve(snapshot.sccs.members.size());
+    for (const IdSet& scc : snapshot.sccs.members) current.push_back(&scc);
+    const auto by_value = [](const IdSet* a, const IdSet* b) {
+      return *a < *b;
+    };
+    std::sort(current.begin(), current.end(), by_value);
+    std::erase_if(cache.by_scc, [&](const auto& entry) {
+      return !std::binary_search(current.begin(), current.end(), &entry.first,
+                                 by_value);
+    });
+    cache.pruned_revision = view.revision();
+  }
+
+  for (const IdSet& scc : snapshot.sccs.members) {
+    if (const auto it = cache.by_scc.find(scc); it != cache.by_scc.end()) {
+      ++scratch.stats.scc_hits;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+      continue;
+    }
+    ++scratch.stats.scc_misses;
+    std::vector<SinkCandidate> fresh;
+    enumerate(view, &scratch, scc, fresh);
+    out.insert(out.end(), fresh.begin(), fresh.end());
+    cache.by_scc.emplace(scc, std::move(fresh));
+  }
+  return out;
+}
+
+/// SCCs of the knowledge graph restricted to processes with received PDs —
+/// any strongly connected S1 (P2 needs κ >= 1) is a subset of one of these.
+/// Cold path only; the incremental path reads the view's cached snapshot,
+/// which is built from the identical construction.
+std::vector<IdSet> received_sccs(const KnowledgeView& view) {
+  const graph::Digraph k = view.knowledge_graph().induced(view.received());
+  return graph::strongly_connected_components(k).members;
+}
+
+bool skip_oversized(const IdSet& scc, std::size_t cap) {
+  if (scc.size() <= cap) return false;
+  LOG_WARN("sink_search") << "SCC of size " << scc.size()
+                          << " exceeds exhaustive cap " << cap << "; skipping";
+  return true;
+}
+
+std::string options_key(const char* name, const SearchOptions& options) {
+  std::string key = name;
+  key += "/cap=" + std::to_string(options.exhaustive_cap);
+  key += "/rm=" + std::to_string(options.removal_cap);
+  return key;
+}
+
 }  // namespace
+
+SearchOptions SearchOptions::validated() const {
+  SearchOptions out = *this;
+  // A 64-bit mask enumerates at most 2^63 subsets; larger caps would shift
+  // by >= 64 bits (UB). Clamping is safe: SCCs beyond 63 members could never
+  // finish enumerating anyway.
+  out.exhaustive_cap = std::min<std::size_t>(out.exhaustive_cap, 63);
+  return out;
+}
+
+ExhaustiveSinkSearch::ExhaustiveSinkSearch(SearchOptions options)
+    : options_(options.validated()),
+      cache_key_(options_key("exhaustive", options_)) {}
+
+StructuredSinkSearch::StructuredSinkSearch(SearchOptions options)
+    : options_(options.validated()),
+      cache_key_(options_key("structured", options_)) {}
 
 std::vector<SinkCandidate> ExhaustiveSinkSearch::candidates(
     const KnowledgeView& view) const {
+  const auto enumerate = [this](const KnowledgeView& v, EvalScratch* scratch,
+                                const IdSet& scc,
+                                std::vector<SinkCandidate>& out) {
+    if (skip_oversized(scc, options_.exhaustive_cap)) return;
+    enumerate_exhaustive(v, scratch, scc, out);
+  };
+
+  if (options_.incremental) {
+    return incremental_candidates(view, cache_key_, enumerate);
+  }
   std::vector<SinkCandidate> out;
   for (const IdSet& scc : received_sccs(view)) {
-    if (scc.size() < 1) continue;
-    if (scc.size() > options_.exhaustive_cap) {
-      LOG_WARN("sink_search") << "SCC of size " << scc.size()
-                              << " exceeds exhaustive cap "
-                              << options_.exhaustive_cap << "; skipping";
-      continue;
-    }
-    const auto& ids = scc.values();
-    const std::size_t n = ids.size();
-    for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
-      IdSet s1;
-      for (std::size_t b = 0; b < n; ++b) {
-        if (mask & (std::uint64_t{1} << b)) s1.insert(ids[b]);
-      }
-      collect_candidates_for(view, s1, out);
-    }
+    enumerate(view, nullptr, scc, out);
   }
   return out;
 }
 
 std::vector<SinkCandidate> StructuredSinkSearch::candidates(
     const KnowledgeView& view) const {
+  const auto enumerate = [this](const KnowledgeView& v, EvalScratch* scratch,
+                                const IdSet& scc,
+                                std::vector<SinkCandidate>& out) {
+    enumerate_structured(v, scratch, scc, options_.removal_cap, out);
+  };
+
+  if (options_.incremental) {
+    return incremental_candidates(view, cache_key_, enumerate);
+  }
   std::vector<SinkCandidate> out;
   for (const IdSet& scc : received_sccs(view)) {
-    const auto& ids = scc.values();
-    const std::size_t n = ids.size();
-    const std::size_t cap = std::min(options_.removal_cap, n - 1);
-
-    // C itself, then C \ D for every removal set D with |D| <= cap.
-    collect_candidates_for(view, scc, out);
-    for (std::size_t d = 1; d <= cap; ++d) {
-      std::vector<std::size_t> combo(d);
-      for (std::size_t i = 0; i < d; ++i) combo[i] = i;
-      bool more = true;
-      while (more) {
-        IdSet s1 = scc;
-        for (std::size_t idx : combo) s1.erase(ids[idx]);
-        collect_candidates_for(view, s1, out);
-
-        // Advance to the next d-combination of {0..n-1}.
-        more = false;
-        for (std::size_t i = d; i-- > 0;) {
-          if (combo[i] < n - d + i) {
-            ++combo[i];
-            for (std::size_t j = i + 1; j < d; ++j) combo[j] = combo[j - 1] + 1;
-            more = true;
-            break;
-          }
-        }
-      }
-    }
+    enumerate(view, nullptr, scc, out);
   }
   return out;
 }

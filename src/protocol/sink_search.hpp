@@ -13,10 +13,20 @@
 //    members are mutually (f+1)-connected, and at most f Byzantine/silent
 //    processes perturb the component).
 //
-// Property tests cross-validate the two on random graphs.
+// Both strategies are *incremental* by default: they key a candidate cache
+// in the view's EvalScratch by SCC member set, so only components whose
+// membership changed since the last evaluation are re-enumerated (the
+// dirty-SCC mechanism), and within a re-enumerated component the per-S1
+// split memo answers every subset already seen. Candidate order — and
+// therefore every downstream decision — is bit-identical to a cold run;
+// `SearchOptions::incremental = false` bypasses every memo for A/B testing.
+//
+// Property tests cross-validate the two strategies on random graphs, and
+// incremental-vs-cold equality across randomized add_pd sequences.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "protocol/sink_predicate.hpp"
@@ -30,14 +40,24 @@ struct SinkCandidate {
   std::size_t g = 0;  ///< fault threshold witnessing this candidate
 
   [[nodiscard]] IdSet members() const { return s1.set_union(s2); }
+
+  friend bool operator==(const SinkCandidate&, const SinkCandidate&) = default;
 };
 
 struct SearchOptions {
   /// Exhaustive strategy: SCCs larger than this are skipped (with a warning)
-  /// rather than enumerated.
+  /// rather than enumerated. Values >= 64 are clamped to 63 by the
+  /// strategies — a 64-bit subset mask cannot enumerate further, and the
+  /// unclamped shift would be undefined behavior.
   std::size_t exhaustive_cap = 16;
   /// Structured strategy: maximum |D| for C \ D candidates.
   std::size_t removal_cap = 3;
+  /// Reuse candidates of unchanged SCCs and memoized per-S1 splits across
+  /// evaluations (see file comment). Results are bit-identical either way.
+  bool incremental = true;
+
+  /// Copy with every field clamped to a safe value (exhaustive_cap <= 63).
+  [[nodiscard]] SearchOptions validated() const;
 };
 
 class SinkSearch {
@@ -50,32 +70,43 @@ class SinkSearch {
       const KnowledgeView& view) const = 0;
 
   [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Identity of the strategy *and* its parameters — equal keys must mean
+  /// equal candidate output for equal views. Keys the per-view candidate
+  /// caches and the per-simulation SharedEvalCache.
+  [[nodiscard]] virtual const std::string& cache_key() const = 0;
 };
 
 class ExhaustiveSinkSearch final : public SinkSearch {
  public:
-  explicit ExhaustiveSinkSearch(SearchOptions options = {})
-      : options_(options) {}
+  explicit ExhaustiveSinkSearch(SearchOptions options = {});
 
   [[nodiscard]] std::vector<SinkCandidate> candidates(
       const KnowledgeView& view) const override;
   [[nodiscard]] const char* name() const override { return "exhaustive"; }
+  [[nodiscard]] const std::string& cache_key() const override {
+    return cache_key_;
+  }
 
  private:
   SearchOptions options_;
+  std::string cache_key_;
 };
 
 class StructuredSinkSearch final : public SinkSearch {
  public:
-  explicit StructuredSinkSearch(SearchOptions options = {})
-      : options_(options) {}
+  explicit StructuredSinkSearch(SearchOptions options = {});
 
   [[nodiscard]] std::vector<SinkCandidate> candidates(
       const KnowledgeView& view) const override;
   [[nodiscard]] const char* name() const override { return "structured"; }
+  [[nodiscard]] const std::string& cache_key() const override {
+    return cache_key_;
+  }
 
  private:
   SearchOptions options_;
+  std::string cache_key_;
 };
 
 /// Convenience: the default strategy used by nodes (exhaustive — every graph

@@ -63,7 +63,8 @@ Simulator::Simulator(Options options)
     : options_(options),
       rng_(options.seed),
       registry_(options.seed ^ 0xb5f7c0deULL),
-      verifier_(&registry_),
+      verify_cache_(options.verify_cache),
+      verifier_(&registry_, &verify_cache_),
       policy_(std::make_unique<RandomDelayPolicy>()) {}
 
 void Simulator::add_process(std::unique_ptr<Process> process) {

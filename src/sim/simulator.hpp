@@ -30,6 +30,11 @@ class Simulator {
     std::uint64_t seed = 1;
     NetConfig net;
     SimTime horizon = 1'000'000;  ///< hard stop (simulated time)
+    /// Memoize signature-verification outcomes for the whole run (see
+    /// crypto/verify_cache.hpp). Verification is a pure function of
+    /// (signer, payload, signature), so replay stays bit-identical; off
+    /// still counts verifications for the run report.
+    bool verify_cache = true;
   };
 
   explicit Simulator(Options options);
@@ -54,6 +59,11 @@ class Simulator {
   [[nodiscard]] const Trace& trace() const { return trace_; }
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] crypto::KeyRegistry& registry() { return registry_; }
+
+  /// Signature-verification counters (total lookups, memo hits).
+  [[nodiscard]] const crypto::VerifyCache::Stats& verify_stats() const {
+    return verify_cache_.stats();
+  }
 
   /// Capability factory for a process (used by node builders that need the
   /// signer before the simulation starts, e.g. to pre-sign their PD).
@@ -97,6 +107,7 @@ class Simulator {
   Options options_;
   Rng rng_;
   crypto::KeyRegistry registry_;
+  crypto::VerifyCache verify_cache_;
   crypto::Verifier verifier_;
   std::unique_ptr<DelayPolicy> policy_;
   ProcessTable table_;

@@ -159,6 +159,23 @@ TEST(BatchReportTest, JsonRoundTripOfEmptyReport) {
   EXPECT_EQ(BatchReport::from_runs_csv(report.runs_csv()), report);
 }
 
+TEST(BatchReportTest, LegacyTwelveColumnCsvStillImports) {
+  // Sweep outputs persisted before the cache counters existed (12 columns)
+  // must keep loading; the counters default to 0.
+  const std::string legacy =
+      "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
+      "delivered,bytes,value,digest\n"
+      "fig1b/silent,1,SOLVED,1,1,1,123,45,40,999,1002,abc123\n";
+  const BatchReport report = BatchReport::from_runs_csv(legacy);
+  ASSERT_EQ(report.runs().size(), 1U);
+  const RunRecord& r = report.runs()[0];
+  EXPECT_EQ(r.scenario, "fig1b/silent");
+  EXPECT_EQ(r.latency, 123);
+  EXPECT_EQ(r.digest, "abc123");
+  EXPECT_EQ(r.evaluations, 0U);
+  EXPECT_EQ(r.sig_hits, 0U);
+}
+
 TEST(BatchReportTest, MalformedImportsThrow) {
   EXPECT_THROW(BatchReport::from_runs_csv("nonsense header\n"),
                std::invalid_argument);

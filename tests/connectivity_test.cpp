@@ -28,6 +28,28 @@ Digraph directed_cycle(std::size_t n) {
   return g;
 }
 
+TEST(MaxFlowTest, ResetReusesTheArenaAcrossNetworks) {
+  MaxFlow flow(4);
+  flow.add_edge(0, 1, 3);
+  flow.add_edge(1, 2, 2);
+  flow.add_edge(2, 3, 5);
+  EXPECT_EQ(flow.run(0, 3), 2);
+
+  // Smaller network after reset: stale rows must not leak edges.
+  flow.reset(2);
+  flow.add_edge(0, 1, 7);
+  EXPECT_EQ(flow.run(0, 1), 7);
+
+  // Larger network after reset.
+  flow.reset(5);
+  flow.add_edge(0, 1, 1);
+  flow.add_edge(0, 2, 1);
+  flow.add_edge(1, 4, 1);
+  flow.add_edge(2, 3, 1);
+  flow.add_edge(3, 4, 1);
+  EXPECT_EQ(flow.run(0, 4), 2);
+}
+
 TEST(MaxFlowTest, SimplePath) {
   MaxFlow flow(4);
   flow.add_edge(0, 1, 3);

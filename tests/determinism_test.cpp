@@ -13,6 +13,8 @@
 //    thread placement must not leak into results.
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "cup/batch_runner.hpp"
 #include "cup/scenario_registry.hpp"
 #include "test_util.hpp"
@@ -254,6 +256,47 @@ TEST(GoldenCorpusTest, DigestsMatchThePreRefactorImplementation) {
     EXPECT_EQ(report.digest(), golden.digest)
         << golden.scenario << " seed=" << golden.seed;
   }
+}
+
+TEST(GoldenCorpusTest, DigestsAreInvariantUnderDisabledCaches) {
+  // The membership-engine caches (dirty-SCC candidate reuse, the shared
+  // evaluation memo, the signature-verification memo) store pure functions
+  // of immutable inputs; turning every layer off must replay each golden
+  // digest byte-identically. A representative slice of the corpus covering
+  // every node mode and adversary family keeps the double-run affordable.
+  constexpr const char* kCacheInvarianceSubset[] = {
+      "adhoc/f1",
+      "blockchain/committee",
+      "fig1a/silent",
+      "fig1b/fake-pd",
+      "fig1b/wrong-value",
+      "fig2/system-ab-naive",
+      "fig3a/cupft",
+      "fig3b/auth",
+      "fig4a/bridge-hiding-attack",
+      "fig4b/cupft-silent",
+      "price-of-f/core5-peri3/cupft",
+      "table1/partial-sync/unknown-n-unknown-f",
+  };
+  const auto& registry = cup::ScenarioRegistry::paper();
+  std::size_t matched = 0;
+  for (const char* name : kCacheInvarianceSubset) {
+    bool found = false;
+    for (const GoldenDigest& golden : kGoldenCorpus) {
+      if (std::string_view(golden.scenario) != name || golden.seed != 1) {
+        continue;
+      }
+      found = true;
+      ++matched;
+      const cup::Scenario cold =
+          registry.builder(name, golden.seed).caching(false).build();
+      EXPECT_EQ(cup::run_scenario(cold).digest(), golden.digest)
+          << name << " seed=" << golden.seed << " (caches disabled)";
+    }
+    // A renamed/typo'd subset entry must fail loudly, not shrink coverage.
+    EXPECT_TRUE(found) << name << " matched no golden corpus entry";
+  }
+  EXPECT_EQ(matched, std::size(kCacheInvarianceSubset));
 }
 
 TEST(PooledVsSerialTest, DynamicScenarioSweepIsThreadPlacementInvariant) {

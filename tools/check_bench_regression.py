@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh bench run against a checked-in
+BENCH_*.json baseline and fail when throughput dropped beyond tolerance.
+
+Rows are matched on their identity fields (workload / strategy / n / mode);
+rows carrying `"gate": false` are reported but never enforced. The compared
+metric is chosen per row:
+
+  * speedup_vs_cold — preferred when present (bench_membership): both sides
+    of the ratio were measured on the *same* machine, so the number is
+    robust to runner-speed differences between the baseline machine and CI.
+    Compared as-is.
+  * events_per_sec / evals_per_sec — absolute throughput otherwise
+    (bench_simcore). Absolute numbers are machine-dependent, so each value
+    is normalized by the geometric mean of its file's gated absolute rows
+    before comparison: a uniformly slower CI runner cancels out, while one
+    workload regressing relative to the others still trips the gate. (A
+    perfectly uniform global slowdown is indistinguishable from a slower
+    machine and is deliberately not flagged.)
+
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.30]
+"""
+import argparse
+import json
+import math
+import sys
+
+IDENTITY_KEYS = ("workload", "strategy", "n", "mode")
+RATIO_METRICS = ("speedup_vs_cold",)
+ABSOLUTE_METRICS = ("events_per_sec", "evals_per_sec")
+
+
+def row_key(row):
+    return tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
+
+
+def metric_for(row):
+    for metric in RATIO_METRICS + ABSOLUTE_METRICS:
+        if metric in row:
+            return metric
+    return None
+
+
+def geomean(values):
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 1.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def normalizer(rows):
+    """Geometric mean of the gated absolute-metric values of one file."""
+    values = []
+    for row in rows:
+        if row.get("gate", True) is False:
+            continue
+        metric = metric_for(row)
+        if metric in ABSOLUTE_METRICS:
+            values.append(float(row[metric]))
+    return geomean(values)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="maximum allowed fractional drop vs baseline (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline_rows = json.load(f).get("results", [])
+    with open(args.current) as f:
+        current_rows_list = json.load(f).get("results", [])
+
+    current_rows = {row_key(r): r for r in current_rows_list}
+    base_norm = normalizer(baseline_rows)
+    cur_norm = normalizer(current_rows_list)
+
+    failures = []
+    checked = 0
+    for base_row in baseline_rows:
+        metric = metric_for(base_row)
+        if metric is None:
+            continue
+        enforced = base_row.get("gate", True) is not False
+        cur_row = current_rows.get(row_key(base_row))
+        label = "/".join(str(base_row.get(k, "")) for k in IDENTITY_KEYS)
+        if cur_row is None:
+            if enforced:
+                failures.append(f"missing row in current run: {label}")
+            continue
+        base_value = float(base_row[metric])
+        cur_value = float(cur_row.get(metric, 0.0))
+        if metric in ABSOLUTE_METRICS:
+            base_value /= base_norm
+            cur_value /= cur_norm
+            shown_metric = f"{metric} (geomean-normalized)"
+        else:
+            shown_metric = metric
+        if base_value <= 0:
+            continue
+        floor = base_value * (1.0 - args.tolerance)
+        regressed = cur_value < floor
+        if enforced:
+            checked += 1
+            status = "REGRESSION" if regressed else "ok"
+        else:
+            status = "info"
+        print(
+            f"{status:10s} {label:45s} {shown_metric}: "
+            f"baseline={base_value:.3f} current={cur_value:.3f} "
+            f"(floor={floor:.3f})"
+        )
+        if enforced and regressed:
+            failures.append(
+                f"{label}: {shown_metric} {cur_value:.3f} < floor "
+                f"{floor:.3f} (baseline {base_value:.3f}, tolerance "
+                f"{args.tolerance:.0%})"
+            )
+
+    if checked == 0:
+        print("error: no gated rows found", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} regression(s) vs {args.baseline}:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} gated rows within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
