@@ -6,7 +6,6 @@
 #include <cinttypes>
 #include <cmath>
 #include <mutex>
-#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -170,15 +169,83 @@ constexpr const char* kLegacyRunsCsvHeader =
     "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
     "delivered,bytes,value,digest";
 
-std::vector<std::string> split(const std::string& line, char sep) {
-  std::vector<std::string> out;
-  std::string::size_type start = 0;
-  for (;;) {
-    const auto end = line.find(sep, start);
-    out.push_back(line.substr(start, end - start));
-    if (end == std::string::npos) break;
-    start = end + 1;
+/// RFC-4180-style field quoting: fields containing the separator, a quote,
+/// or a line break are wrapped in double quotes with embedded quotes
+/// doubled. Everything else is emitted verbatim, so files of pre-escaping
+/// releases are byte-identical (their names never needed quoting).
+std::string csv_field(const std::string& value) {
+  if (value.find_first_of(",\"\r\n") == std::string::npos) return value;
+  std::string out;
+  out.reserve(value.size() + 2);
+  out += '"';
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
   }
+  out += '"';
+  return out;
+}
+
+/// Splits the CSV text into logical records: newlines inside a quoted
+/// field belong to the field (csv_field quotes them), so a record may span
+/// physical lines. Unquoted input (every legacy export) splits exactly
+/// like a plain getline loop. Trailing \r (CRLF input) is stripped outside
+/// quotes. Throws on an unterminated quote at end of input.
+std::vector<std::string> split_csv_records(const std::string& text) {
+  std::vector<std::string> records;
+  std::string record;
+  bool quoted = false;
+  for (char c : text) {
+    if (c == '"') quoted = !quoted;  // "" toggles twice; net effect is none
+    if (c == '\n' && !quoted) {
+      if (!record.empty() && record.back() == '\r') record.pop_back();
+      records.push_back(std::move(record));
+      record.clear();
+    } else {
+      record += c;
+    }
+  }
+  if (quoted) {
+    throw std::invalid_argument(
+        "BatchReport: unterminated CSV quote at end of input");
+  }
+  if (!record.empty()) records.push_back(std::move(record));
+  return records;
+}
+
+/// Splits one CSV record, honoring csv_field's quoting. Unquoted rows
+/// (every legacy export) split exactly as the old naive splitter did.
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  bool quoted = false;
+  for (std::string::size_type i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (quoted) {
+    throw std::invalid_argument("BatchReport: unterminated CSV quote: " +
+                                line);
+  }
+  out.push_back(std::move(field));
   return out;
 }
 
@@ -188,9 +255,9 @@ std::string BatchReport::runs_csv() const {
   std::string out = kRunsCsvHeader;
   out += '\n';
   for (const RunRecord& r : runs_) {
-    out += r.scenario;
+    out += csv_field(r.scenario);
     out += ',' + std::to_string(r.seed);
-    out += ',' + r.verdict;
+    out += ',' + csv_field(r.verdict);
     out += r.agreement ? ",1" : ",0";
     out += r.validity ? ",1" : ",0";
     out += r.terminated ? ",1" : ",0";
@@ -203,7 +270,7 @@ std::string BatchReport::runs_csv() const {
     out += ',' + std::to_string(r.eval_hits);
     out += ',' + std::to_string(r.signatures);
     out += ',' + std::to_string(r.sig_hits);
-    out += ',' + r.digest;
+    out += ',' + csv_field(r.digest);
     out += '\n';
   }
   return out;
@@ -211,14 +278,12 @@ std::string BatchReport::runs_csv() const {
 
 BatchReport BatchReport::from_runs_csv(const std::string& csv) {
   std::vector<RunRecord> runs;
-  std::istringstream in(csv);
-  std::string line;
   bool header = true;
   // 16 = current format; 12 = the pre-cache-counter format, still accepted
   // so persisted sweep outputs keep loading (counters read 0). Rows must
   // match the arity their header announced — a mixed file is corrupt.
   std::size_t expected_fields = 0;
-  while (std::getline(in, line)) {
+  for (const std::string& line : split_csv_records(csv)) {
     if (line.empty()) continue;
     if (header) {
       if (line == kRunsCsvHeader) {
@@ -231,7 +296,7 @@ BatchReport BatchReport::from_runs_csv(const std::string& csv) {
       header = false;
       continue;
     }
-    const auto fields = split(line, ',');
+    const auto fields = split_csv(line);
     if (fields.size() != expected_fields) {
       throw std::invalid_argument("BatchReport: malformed CSV row: " + line);
     }
@@ -268,7 +333,7 @@ std::string BatchReport::summary_csv() const {
   for (const ScenarioStats& s : scenarios()) {
     char rate[32];
     std::snprintf(rate, sizeof(rate), "%.4f", s.pass_rate());
-    out += s.scenario;
+    out += csv_field(s.scenario);
     out += ',' + std::to_string(s.runs);
     out += ',' + std::to_string(s.solved);
     out += ',';
@@ -291,14 +356,45 @@ std::string BatchReport::summary_csv() const {
   return out;
 }
 
+namespace {
+
+/// JSON string escaping for the one field callers control (scenario names);
+/// verdicts and digests are library-generated and never need it, but they
+/// go through the same helper so the export cannot silently emit broken
+/// JSON for any record.
+std::string json_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string BatchReport::to_json() const {
   std::string out = "{\"runs\":[";
   for (std::size_t i = 0; i < runs_.size(); ++i) {
     const RunRecord& r = runs_[i];
     if (i != 0) out += ',';
-    out += "{\"scenario\":\"" + r.scenario + "\"";
+    out += "{\"scenario\":\"" + json_escape(r.scenario) + "\"";
     out += ",\"seed\":" + std::to_string(r.seed);
-    out += ",\"verdict\":\"" + r.verdict + "\"";
+    out += ",\"verdict\":\"" + json_escape(r.verdict) + "\"";
     out += r.agreement ? ",\"agreement\":true" : ",\"agreement\":false";
     out += r.validity ? ",\"validity\":true" : ",\"validity\":false";
     out += r.terminated ? ",\"terminated\":true" : ",\"terminated\":false";
@@ -311,7 +407,7 @@ std::string BatchReport::to_json() const {
     out += ",\"eval_hits\":" + std::to_string(r.eval_hits);
     out += ",\"signatures\":" + std::to_string(r.signatures);
     out += ",\"sig_hits\":" + std::to_string(r.sig_hits);
-    out += ",\"digest\":\"" + r.digest + "\"}";
+    out += ",\"digest\":\"" + json_escape(r.digest) + "\"}";
   }
   out += "]}";
   return out;
@@ -319,8 +415,8 @@ std::string BatchReport::to_json() const {
 
 namespace {
 
-/// Minimal parser for the flat JSON BatchReport::to_json emits. Scenario
-/// names, verdicts, and digests never contain quotes or escapes.
+/// Minimal parser for the flat JSON BatchReport::to_json emits, including
+/// the escape sequences json_escape produces.
 class JsonCursor {
  public:
   explicit JsonCursor(const std::string& text) : text_(text) {}
@@ -345,12 +441,62 @@ class JsonCursor {
 
   std::string string() {
     expect('"');
-    const auto end = text_.find('"', pos_);
-    if (end == std::string::npos) {
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            // Strict: exactly 4 hex digits, and only the single-byte range
+            // this writer emits (json_escape uses \u for control chars);
+            // anything else is rejected rather than silently truncated.
+            if (pos_ + 4 > text_.size()) {
+              throw std::invalid_argument(
+                  "BatchReport JSON: truncated \\u escape");
+            }
+            unsigned value = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text_[pos_ + static_cast<std::size_t>(k)];
+              value <<= 4;
+              if (h >= '0' && h <= '9') {
+                value |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                value |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                value |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                throw std::invalid_argument(
+                    "BatchReport JSON: malformed \\u escape");
+              }
+            }
+            if (value > 0xff) {
+              throw std::invalid_argument(
+                  "BatchReport JSON: \\u escape beyond the single-byte "
+                  "range this format emits");
+            }
+            c = static_cast<char>(value);
+            pos_ += 4;
+            break;
+          }
+          default:
+            throw std::invalid_argument(
+                std::string("BatchReport JSON: unsupported escape \\") + esc);
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) {
       throw std::invalid_argument("BatchReport JSON: unterminated string");
     }
-    std::string out = text_.substr(pos_, end - pos_);
-    pos_ = end + 1;
+    ++pos_;  // closing quote
     return out;
   }
 
@@ -510,13 +656,19 @@ BatchReport BatchRunner::run(const Sweep& sweep) const {
   return run(sweep.expand());
 }
 
-BatchReport BatchRunner::run(std::vector<SweepPoint> points) const {
-  std::vector<RunRecord> records(points.size());
+namespace {
 
+/// Drains indices [0, count) through a work-stealing std::thread pool.
+/// Results land in caller-owned slots indexed by i, so the output order is
+/// independent of thread placement. The first exception wins and is
+/// rethrown after the pool drains.
+void pool_execute(std::size_t count, std::size_t requested_threads,
+                  const std::function<void(std::size_t)>& work) {
   std::size_t threads =
-      options_.threads != 0 ? options_.threads
-                            : std::max(1U, std::thread::hardware_concurrency());
-  threads = std::min(threads, points.size());
+      requested_threads != 0
+          ? requested_threads
+          : std::max(1U, std::thread::hardware_concurrency());
+  threads = std::min(threads, count);
 
   std::atomic<std::size_t> next{0};
   std::exception_ptr failure;
@@ -525,10 +677,9 @@ BatchReport BatchRunner::run(std::vector<SweepPoint> points) const {
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
-      if (i >= points.size()) return;
+      if (i >= count) return;
       try {
-        records[i] = summarize(points[i].scenario, points[i].seed,
-                               run_scenario(points[i].config));
+        work(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(failure_mutex);
         if (!failure) failure = std::current_exception();
@@ -546,6 +697,16 @@ BatchReport BatchRunner::run(std::vector<SweepPoint> points) const {
     for (std::thread& t : pool) t.join();
   }
   if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace
+
+BatchReport BatchRunner::run(std::vector<SweepPoint> points) const {
+  std::vector<RunRecord> records(points.size());
+  pool_execute(points.size(), options_.threads, [&](std::size_t i) {
+    records[i] = summarize(points[i].scenario, points[i].seed,
+                           run_scenario(points[i].config));
+  });
 
   if (options_.verify_determinism) {
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -563,6 +724,27 @@ BatchReport BatchRunner::run(std::vector<SweepPoint> points) const {
   }
 
   return BatchReport(std::move(records));
+}
+
+std::vector<RunReport> BatchRunner::run_reports(
+    std::vector<SweepPoint> points) const {
+  std::vector<RunReport> reports(points.size());
+  pool_execute(points.size(), options_.threads, [&](std::size_t i) {
+    reports[i] = run_scenario(points[i].config);
+  });
+
+  if (options_.verify_determinism) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const RunReport serial = run_scenario(points[i].config);
+      if (serial.digest() != reports[i].digest()) {
+        throw std::logic_error(
+            "BatchRunner: nondeterministic run detected for (" +
+            points[i].scenario + ", seed " + std::to_string(points[i].seed) +
+            ")");
+      }
+    }
+  }
+  return reports;
 }
 
 }  // namespace bftcup::cup

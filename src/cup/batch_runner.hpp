@@ -183,6 +183,13 @@ class BatchRunner {
   [[nodiscard]] BatchReport run(const Sweep& sweep) const;
   [[nodiscard]] BatchReport run(std::vector<SweepPoint> points) const;
 
+  /// Executes the points through the same pool but returns the full
+  /// RunReports, indexed like `points`. The adversary explorer needs
+  /// coverage features (message-type histogram, memberships) that the
+  /// flattened RunRecord drops. `Options::verify_determinism` applies.
+  [[nodiscard]] std::vector<RunReport> run_reports(
+      std::vector<SweepPoint> points) const;
+
  private:
   Options options_;
 };

@@ -173,6 +173,7 @@ RunReport run_scenario(const Scenario& scenario) {
   report.messages_delivered = trace.messages_delivered();
   report.messages_dropped = trace.messages_dropped();
   report.bytes_sent = trace.bytes_sent();
+  report.sent_by_type = trace.sent_by_type();
   report.decisions = trace.decisions();
   report.memberships = trace.memberships();
   report.membership_times = trace.membership_times();

@@ -14,6 +14,7 @@
 #include "cup/node_base.hpp"
 #include "graph/digraph.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 
 namespace bftcup::cup {
 
@@ -77,6 +78,9 @@ struct RunReport {
   /// Messages lost to fault-timeline events (always 0 without a timeline).
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  /// Per-message-type sent counts (traffic shape; a coverage feature for the
+  /// adversary explorer). Excluded from digest() like messages_dropped.
+  sim::Trace::MsgHistogram sent_by_type{};
   // Cache-effectiveness counters (where the run's search/crypto time went).
   // Like messages_dropped they are excluded from digest(): they vary with
   // the cache knobs while the replayed behavior does not.

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "explore/genome.hpp"
 #include "sim/network.hpp"
 
 namespace bftcup::cup {
@@ -457,6 +458,111 @@ void register_dynamic(ScenarioRegistry& registry) {
                 }});
 }
 
+void register_explored(ScenarioRegistry& registry) {
+  // The checked-in attack corpus: counterexamples and witnesses found and
+  // minimized by the adversary explorer (src/explore/, tools/cup_explore).
+  // Each entry is its one-line genome artifact verbatim — names match the
+  // explorer's content-addressed output, digests are pinned for seeds 1
+  // and 7 in tests/determinism_test.cpp, and verdicts are asserted by
+  // tests/attack_corpus_test.cpp. Every line is 1-minimal: the shrinker
+  // verified that no single deletion (timeline gene, fake-PD member or
+  // entry, faulty mark, edge, vertex) preserves the classification.
+  struct Found {
+    const char* name;
+    const char* description;
+    const char* kind_tag;
+    const char* role_tag;  ///< "attack" (requirements hold) or "witness"
+    const char* line;
+  };
+  const Found corpus[] = {
+      {"explored/agreement-14960b90",
+       "Adversary-free agreement break: 8 correct processes, f=1, Theorem 1 "
+       "SATISFIED, nobody Byzantine — yet partial views let different "
+       "processes self-declare different sinks and decide different values "
+       "(divergence from Theorem 4's uniqueness argument). Seed 1 splits; "
+       "seed 7 stalls instead.",
+       "agreement", "attack",
+       "v=1.2.3.4.5.6.7.8|e=1>6;1>7;2>4;2>5;2>6;2>7;3>1;3>2;3>4;3>5;3>6;3>7;"
+       "4>1;4>2;4>5;4>6;4>7;5>7;5>8;6>1;6>2;6>3;6>4;6>5;6>7;7>5;7>8;8>5;8>7|"
+       "f=1|mode=auth|byz=silent|faulty=|fpd=|tl=|gst=0|delta=10|hz=300000|"
+       "seed=1|cg=0"},
+      {"explored/agreement-2085e512",
+       "CUPFT agreement break with a merely discovery-participating "
+       "Byzantine (true PD advertised, silent in consensus) on a shrunk "
+       "Fig. 4a variant; Section V requirements SATISFIED. The "
+       "bridge-hiding family generalized — no fake PD needed.",
+       "agreement", "attack",
+       "v=1.2.3.4.5.6.7.8|e=1>3;1>4;2>3;2>4;3>1;3>2;4>1;4>2;5>7;5>8;6>3;"
+       "6>7;6>8;7>2;7>5;7>6;7>8;8>5;8>6;8>7|f=1|mode=cupft|byz=fakepd|"
+       "faulty=5|fpd=|tl=|gst=0|delta=10|hz=300000|seed=1|cg=0"},
+      {"explored/agreement-2085e512-guarded",
+       "The same scenario with the knowledge-closure guard enabled: safety "
+       "restored at the cost of liveness (NO-TERMINATION), mirroring "
+       "fig4a/bridge-hiding-guarded.",
+       "agreement", "attack",
+       "v=1.2.3.4.5.6.7.8|e=1>3;1>4;2>3;2>4;3>1;3>2;4>1;4>2;5>7;5>8;6>3;"
+       "6>7;6>8;7>2;7>5;7>6;7>8;8>5;8>6;8>7|f=1|mode=cupft|byz=fakepd|"
+       "faulty=5|fpd=|tl=|gst=0|delta=10|hz=300000|seed=1|cg=1"},
+      {"explored/agreement-unsat-a872e429",
+       "The minimal split-brain: two disconnected complete components "
+       "(sizes 3 and 4) each solve on their own values. The necessity "
+       "witness for weak connectivity — agreement violated for the trivial "
+       "reason the requirements no longer hold.",
+       "agreement", "witness",
+       "v=1.2.3.5.6.7.8|e=1>2;1>3;2>1;2>3;3>1;3>2;5>6;5>7;6>7;6>8;7>5;7>8;"
+       "8>5;8>6|f=1|mode=auth|byz=silent|faulty=|fpd=|tl=|gst=0|delta=10|"
+       "hz=300000|seed=1|cg=0"},
+      {"explored/liveness-94af2f39",
+       "Fake-PD liveness attack on CUPFT: Byzantine 5 advertises {7,8}; "
+       "Section V requirements SATISFIED on G_safe, every correct process "
+       "lives, yet discovery never converges to a decidable core. Seed 7 "
+       "escalates to an agreement violation.",
+       "liveness", "attack",
+       "v=1.2.3.4.5.6.7.8|e=1>3;1>4;2>3;2>4;3>1;3>2;4>1;4>2;6>3;6>8;7>2;"
+       "7>5;7>6;7>8;8>5;8>6;8>7|f=1|mode=cupft|byz=fakepd|faulty=5|"
+       "fpd=5:7.8|tl=|gst=0|delta=10|hz=300000|seed=1|cg=0"},
+      {"explored/liveness-489bf1e6",
+       "Adversary-free non-termination: Theorem 1 SATISFIED (sink {5,7,8} "
+       "of G_safe = G), nobody faulty, no timeline — yet two processes "
+       "never decide (the Fig. 3a ambiguity family minimized; divergence "
+       "between the solvability predicate and the implementation).",
+       "liveness", "attack",
+       "v=2.3.4.5.6.7.8|e=2>6;2>7;3>4;3>6;4>3;4>5;4>6;4>7;5>7;5>8;6>3;6>4;"
+       "6>7;7>5;7>8;8>5;8>7|f=1|mode=auth|byz=silent|faulty=|fpd=|tl=|"
+       "gst=0|delta=10|hz=300000|seed=1|cg=0"},
+      {"explored/liveness-fda77490",
+       "A single late join (process 2 at t=8990) permanently prevents "
+       "termination on a CUPFT topology whose requirements are SATISFIED "
+       "and whose no-join run solves — churn outlasting the discovery "
+       "epoch is not absorbed.",
+       "liveness", "attack",
+       "v=1.2.3.4.5.6.7.8|e=1>3;1>4;2>3;2>4;3>1;3>2;3>4;4>1;4>2;4>3;5>4;"
+       "5>8;6>3;6>8;7>6;7>8;8>5;8>7|f=1|mode=cupft|byz=silent|faulty=|fpd=|"
+       "tl=join:2@8990|gst=0|delta=10|hz=300000|seed=1|cg=0"},
+      {"explored/witness-45674aae",
+       "Sufficiency-not-necessity witness: a 4-process CUPFT system whose "
+       "periphery process knows a single core member (Definition 2 FAILS) "
+       "still SOLVES under a benign schedule — the requirement checkers "
+       "bound the adversarial worst case, not every run.",
+       "witness", "witness",
+       "v=2.3.4.7|e=2>3;2>4;3>2;3>4;4>2;4>3;7>2|f=1|mode=cupft|byz=silent|"
+       "faulty=|fpd=|tl=|gst=0|delta=10|hz=300000|seed=1|cg=0"},
+  };
+  for (const Found& found : corpus) {
+    const auto genome = explore::Genome::parse_line(found.line);
+    if (!genome.has_value()) {
+      throw ScenarioError(std::string("explored corpus line is malformed: ") +
+                          found.name);
+    }
+    registry.add({found.name,
+                  found.description,
+                  {"explored", found.kind_tag, found.role_tag},
+                  [genome = *genome](std::uint64_t seed) {
+                    return genome.to_builder().seed(seed);
+                  }});
+  }
+}
+
 ScenarioRegistry build_paper_registry() {
   ScenarioRegistry registry;
   register_table1(registry);
@@ -466,6 +572,7 @@ ScenarioRegistry build_paper_registry() {
   register_fig4(registry);
   register_generated(registry);
   register_dynamic(registry);
+  register_explored(registry);
   return registry;
 }
 

@@ -23,10 +23,12 @@
 namespace bftcup::cup {
 
 namespace detail {
-/// Scenario names travel through CSV rows and JSON strings unescaped
-/// (see batch_runner.hpp); reject empty names and any character that
-/// would need quoting or escaping. Shared by ScenarioRegistry::add and
-/// Sweep::add so both entry paths enforce the same contract.
+/// Rejects empty names and CSV/JSON metacharacters. The report layer now
+/// quotes and escapes (see BatchReport::runs_csv/to_json), so exports
+/// survive any name — this gate keeps *registry* names portable to every
+/// downstream consumer (shell one-liners, spreadsheets, grep) rather than
+/// merely round-trippable. Shared by ScenarioRegistry::add and Sweep::add
+/// so both entry paths enforce the same contract.
 void validate_scenario_name(const std::string& name);
 }  // namespace detail
 

@@ -1,0 +1,50 @@
+#include "explore/coverage.hpp"
+
+namespace bftcup::explore {
+namespace {
+
+/// 0 for 0, otherwise 1 + floor(log2(x)): collapses counts that differ by
+/// less than 2x into the same feature value.
+std::uint32_t log_bucket(std::uint64_t x) {
+  std::uint32_t bucket = 0;
+  while (x != 0) {
+    ++bucket;
+    x >>= 1;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+std::string coverage_signature(const cup::RunReport& report) {
+  std::string sig = report.verdict();
+  sig += "|t" + std::to_string(log_bucket(static_cast<std::uint64_t>(
+                    report.completion_time.value_or(-1) + 1)));
+  sig += "|d" + std::to_string(report.decisions.size());
+
+  // Membership (sink/core) size range across correct processes; processes
+  // that never reported membership contribute the 0 bucket.
+  std::size_t min_members = ~std::size_t{0};
+  std::size_t max_members = 0;
+  for (ProcessId id : report.correct) {
+    const auto it = report.memberships.find(id);
+    const std::size_t size =
+        it == report.memberships.end() ? 0 : it->second.size();
+    min_members = std::min(min_members, size);
+    max_members = std::max(max_members, size);
+  }
+  if (report.correct.empty()) min_members = 0;
+  sig += "|m" + std::to_string(min_members) + "." + std::to_string(max_members);
+
+  sig += "|h";
+  for (std::uint64_t count : report.sent_by_type) {
+    sig += std::to_string(log_bucket(count)) + ".";
+  }
+  sig += "|x" + std::to_string(log_bucket(report.messages_dropped));
+  sig += "|e" + std::to_string(log_bucket(report.evaluations));
+  sig += "|s" + std::to_string(log_bucket(report.signatures_verified +
+                                          report.signatures_cached));
+  return sig;
+}
+
+}  // namespace bftcup::explore

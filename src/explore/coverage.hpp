@@ -1,0 +1,42 @@
+// Coverage signatures: which behaviors a run exercised, coarsened.
+//
+// The explorer keeps a mutant iff its run lands in a coverage class no
+// corpus member has produced yet. The signature coarsens RunReport into
+// features that distinguish *behaviors* rather than runs: the verdict, the
+// log-bucketed completion time, how many processes decided, the range of
+// membership (sink/core) sizes the correct processes settled on, the
+// log-bucketed per-message-type traffic histogram (which doubles as a
+// protocol-phase fingerprint — view changes, RRB forwards, and re-polls
+// each light up their own bucket), drops, and the membership-engine cache
+// counters. Exact counts would make every run "new"; raw verdicts alone
+// would collapse the search space to four points.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "cup/runner.hpp"
+
+namespace bftcup::explore {
+
+/// Canonical signature string for one run. Byte-equal iff the runs fall in
+/// the same coverage class.
+[[nodiscard]] std::string coverage_signature(const cup::RunReport& report);
+
+/// The set of coverage classes seen so far.
+class CoverageMap {
+ public:
+  /// Records the signature; true iff it was new coverage.
+  bool add(const std::string& signature) {
+    return seen_.insert(signature).second;
+  }
+  [[nodiscard]] bool contains(const std::string& signature) const {
+    return seen_.contains(signature);
+  }
+  [[nodiscard]] std::size_t size() const { return seen_.size(); }
+
+ private:
+  std::set<std::string> seen_;
+};
+
+}  // namespace bftcup::explore

@@ -1,0 +1,99 @@
+// The scenario genome: the explorer's unit of mutation and shrinking.
+//
+// A Genome is the plain-data projection of a Scenario — explicit topology,
+// fault configuration, Byzantine behavior, fault timeline, and synchrony
+// knobs — restricted to what the mutator can perturb and the shrinker can
+// delta-debug. It deliberately excludes the open-ended hooks (custom delay
+// policies, custom search strategies): those are code, not data, and a
+// counterexample must replay from a one-line artifact alone.
+//
+// `to_line()`/`parse_line()` give that artifact: a single `|`-separated
+// line that round-trips exactly (to_line(parse_line(l)) == l for canonical
+// l) and is what `tools/cup_explore --replay` consumes and findings files
+// store. `to_builder()` bridges into the fluent Scenario API, so every
+// genome is validated by the same ScenarioBuilder::build() gate as every
+// hand-written experiment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cup/scenario_builder.hpp"
+#include "graph/digraph.hpp"
+
+namespace bftcup::explore {
+
+/// One scheduled fault, the genome-level mirror of sim::FaultAction.
+/// Kept separate so the shrinker can drop single genes and the serializer
+/// has a stable, minimal surface.
+struct TimelineGene {
+  enum class Kind : std::uint8_t { kCrash, kRecover, kDrop, kPartition, kJoin };
+  Kind kind = Kind::kCrash;
+  ProcessId subject;  ///< crash/recover/join subject; drop source
+  ProcessId peer;     ///< drop target
+  IdSet group_a;      ///< partition sides
+  IdSet group_b;
+  SimTime at = 0;
+  SimTime until = 0;  ///< drop/partition window end (exclusive)
+
+  friend bool operator==(const TimelineGene&, const TimelineGene&) = default;
+};
+
+struct Genome {
+  graph::Digraph graph;
+  std::size_t f = 1;
+  cup::Mode mode = cup::Mode::kAuth;
+  cup::ByzBehavior byz = cup::ByzBehavior::kSilent;
+  IdSet faulty;
+  std::map<ProcessId, IdSet> fake_pds;
+  std::vector<TimelineGene> timeline;
+  SimTime gst = 0;
+  SimTime delta = 10;
+  SimTime horizon = 1'000'000;
+  std::uint64_t seed = 1;
+  bool closure_guard = false;
+
+  /// The fluent-API view of the genome (seeded with `seed`). Building the
+  /// returned builder runs the full Scenario validation; mutants that throw
+  /// are rejected by the mutator, so "every genome in the corpus would
+  /// build" holds by construction.
+  [[nodiscard]] cup::ScenarioBuilder to_builder() const;
+
+  /// True iff to_builder().build() succeeds — the mutator/shrinker gate.
+  [[nodiscard]] bool valid() const;
+
+  /// Canonical one-line artifact, e.g.
+  ///   v=1.2.3|e=1>2;2>1|f=1|mode=auth|byz=fakepd|faulty=3|fpd=3:1.2|
+  ///   tl=crash:2@60;drop:1>2@0-2000|gst=0|delta=10|hz=150000|seed=1|cg=0
+  /// Vertices, edges, sets, and maps are emitted in sorted order, so two
+  /// genomes are semantically equal iff their lines are byte-equal.
+  [[nodiscard]] std::string to_line() const;
+
+  /// Inverse of to_line(). Returns nullopt on malformed input. Does NOT
+  /// validate the configuration — call valid()/to_builder().build() next.
+  [[nodiscard]] static std::optional<Genome> parse_line(const std::string& l);
+
+  friend bool operator==(const Genome& a, const Genome& b) {
+    return a.to_line() == b.to_line();
+  }
+};
+
+// --- structural surgery shared by the mutator and the shrinker ------------
+
+/// The graph minus one directed edge (vertices untouched).
+[[nodiscard]] graph::Digraph without_edge(const graph::Digraph& g,
+                                          ProcessId from, ProcessId to);
+
+/// The genome minus one vertex: induced subgraph, the vertex stripped from
+/// faulty / fake-PD ownership / partition groups, and every timeline gene
+/// it anchors dropped. Fake-PD *members* keep the id — a removed process
+/// someone still advertises is exactly the ghost-id attack.
+[[nodiscard]] Genome without_vertex(const Genome& g, ProcessId v);
+
+/// All edges of `g` as (from, to) pairs, in sorted-vertex order.
+[[nodiscard]] std::vector<std::pair<ProcessId, ProcessId>> edges_of(
+    const graph::Digraph& g);
+
+}  // namespace bftcup::explore

@@ -1,0 +1,49 @@
+// Validity-preserving genome mutation.
+//
+// Every mutation the explorer feeds back into the corpus must be a scenario
+// ScenarioBuilder::build() accepts — a fuzzer that drowns in its own
+// malformed inputs measures nothing. The mutator perturbs one dimension at
+// a time (topology, fault set, Byzantine behavior, fake-PD target sets,
+// fault timeline, synchrony knobs, seed) and rejection-samples: a candidate
+// that fails validation, exceeds the structural bounds, or equals its
+// parent is discarded and another operator is drawn, up to
+// `max_attempts` times. The operator mix is deliberately biased toward the
+// adversary-controlled dimensions (fake PDs, timeline) — that is where the
+// paper's interesting counterexamples live.
+#pragma once
+
+#include "common/random.hpp"
+#include "explore/genome.hpp"
+
+namespace bftcup::explore {
+
+struct MutatorOptions {
+  std::size_t max_vertices = 12;   ///< keeps omniscient checkers affordable
+  std::size_t max_timeline = 8;
+  std::size_t max_attempts = 32;   ///< rejection-sampling budget per mutate()
+  SimTime min_horizon = 50'000;
+  SimTime max_horizon = 2'000'000;
+  SimTime max_gst = 100'000;
+  SimTime max_delta = 100;
+};
+
+class Mutator {
+ public:
+  explicit Mutator(MutatorOptions options = {}) : options_(options) {}
+
+  /// One valid mutant of `parent`, or nullopt if the attempt budget ran out
+  /// (e.g. the parent sits in a corner of the space every operator leaves).
+  /// Deterministic given the rng state.
+  [[nodiscard]] std::optional<Genome> mutate(const Genome& parent,
+                                             Rng& rng) const;
+
+  [[nodiscard]] const MutatorOptions& options() const { return options_; }
+
+ private:
+  /// One unvalidated candidate (may equal the parent; may be invalid).
+  [[nodiscard]] Genome mutate_once(const Genome& parent, Rng& rng) const;
+
+  MutatorOptions options_;
+};
+
+}  // namespace bftcup::explore

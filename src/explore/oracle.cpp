@@ -1,0 +1,99 @@
+#include "explore/oracle.hpp"
+
+#include <algorithm>
+
+#include "graph/extended_osr.hpp"
+#include "graph/osr.hpp"
+
+namespace bftcup::explore {
+namespace {
+
+/// True iff every crash of a *correct* process has a later recover — an
+/// unrecovered correct crash forfeits termination by construction (the
+/// crashed process cannot decide), so such runs are excluded from liveness
+/// findings. Crashes of Byzantine processes are exempt: termination is
+/// judged over the correct set only, so an adversary that participates in
+/// discovery and then goes permanently dark is a legitimate liveness
+/// attack, not a self-inflicted non-termination.
+bool crashes_all_recover(const Genome& genome) {
+  for (const TimelineGene& crash : genome.timeline) {
+    if (crash.kind != TimelineGene::Kind::kCrash) continue;
+    if (genome.faulty.contains(crash.subject)) continue;
+    const bool recovered =
+        std::any_of(genome.timeline.begin(), genome.timeline.end(),
+                    [&](const TimelineGene& other) {
+                      return other.kind == TimelineGene::Kind::kRecover &&
+                             other.subject == crash.subject &&
+                             other.at > crash.at;
+                    });
+    if (!recovered) return false;
+  }
+  return true;
+}
+
+/// The last instant the environment may still be interfering: GST, the end
+/// of every drop/partition window, every join, every fault-action instant.
+SimTime last_disruption(const Genome& genome) {
+  SimTime last = genome.gst;
+  for (const TimelineGene& gene : genome.timeline) {
+    last = std::max(last, gene.at);
+    last = std::max(last, gene.until);
+  }
+  return last;
+}
+
+}  // namespace
+
+const char* to_string(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kAgreement: return "agreement";
+    case FindingKind::kValidity: return "validity";
+    case FindingKind::kLiveness: return "liveness";
+    case FindingKind::kWitness: return "witness";
+  }
+  return "unknown";
+}
+
+bool requirements_satisfied(const Genome& genome) {
+  if (genome.mode == cup::Mode::kCupft) {
+    return graph::check_bft_cupft_requirements(genome.graph, genome.faulty,
+                                               genome.f)
+        .satisfied;
+  }
+  return graph::check_bft_cup_requirements(genome.graph, genome.faulty,
+                                           genome.f)
+      .satisfied;
+}
+
+std::optional<Classification> classify(const Genome& genome,
+                                       const cup::RunReport& report,
+                                       const OracleOptions& options) {
+  if (!options.include_naive && genome.mode == cup::Mode::kNaive) {
+    return std::nullopt;
+  }
+  const bool satisfied = requirements_satisfied(genome);
+  if (!report.agreement) {
+    return Classification{FindingKind::kAgreement, satisfied};
+  }
+  if (!report.validity) {
+    return Classification{FindingKind::kValidity, satisfied};
+  }
+  if (report.all_correct_decided) {
+    if (options.include_witness && !satisfied &&
+        genome.mode != cup::Mode::kNaive) {
+      return Classification{FindingKind::kWitness, satisfied};
+    }
+    return std::nullopt;
+  }
+  // NO-TERMINATION. Only a finding when the predicate promised solvability
+  // and the run was fair (see file comment).
+  if (!options.include_liveness || !satisfied) return std::nullopt;
+  if (genome.mode == cup::Mode::kNaive) return std::nullopt;
+  if (!crashes_all_recover(genome)) return std::nullopt;
+  if (genome.horizon < last_disruption(genome) + options.liveness_slack) {
+    return std::nullopt;
+  }
+  return Classification{FindingKind::kLiveness, satisfied};
+}
+
+}  // namespace bftcup::explore

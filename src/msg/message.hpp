@@ -36,6 +36,11 @@ enum class MsgType : std::uint8_t {
   kRrbForward,
 };
 
+/// Number of MsgType values (for per-type counters, e.g. the trace's
+/// message histogram). Keep in sync with the enum above.
+inline constexpr std::size_t kMsgTypeCount =
+    static_cast<std::size_t>(MsgType::kRrbForward) + 1;
+
 [[nodiscard]] const char* to_string(MsgType type);
 
 /// A participant-detector output signed by its owner: ⟨i, PD_i⟩_i.

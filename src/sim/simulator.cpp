@@ -91,7 +91,7 @@ void Simulator::set_fault_timeline(FaultTimeline timeline) {
 }
 
 void Simulator::do_send(ProcessId from, ProcessId to, msg::MessageRef message) {
-  trace_.record_send(message.encoded_size());
+  trace_.record_send(message.encoded_size(), message->type);
   if (timeline_active_ && timeline_.is_link_down(from, to)) {
     // Lost on the wire: sent (and counted as such), never queued.
     trace_.record_drop();

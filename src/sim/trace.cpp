@@ -9,9 +9,10 @@ void Trace::record_decision(ProcessId who, Value value, SimTime time) {
   decisions_.emplace(who, Decision{value, time});
 }
 
-void Trace::record_send(std::size_t bytes) {
+void Trace::record_send(std::size_t bytes, msg::MsgType type) {
   ++messages_sent_;
   bytes_sent_ += bytes;
+  ++sent_by_type_[static_cast<std::size_t>(type)];
 }
 
 void Trace::record_delivery() {

@@ -1,10 +1,12 @@
 // Execution trace: everything the experiment harnesses measure.
 #pragma once
 
+#include <array>
 #include <map>
 #include <optional>
 
 #include "common/types.hpp"
+#include "msg/message.hpp"
 
 namespace bftcup::sim {
 
@@ -15,8 +17,11 @@ struct Decision {
 
 class Trace {
  public:
+  /// Per-message-type sent counts (the coverage signature's traffic shape).
+  using MsgHistogram = std::array<std::uint64_t, msg::kMsgTypeCount>;
+
   void record_decision(ProcessId who, Value value, SimTime time);
-  void record_send(std::size_t bytes);
+  void record_send(std::size_t bytes, msg::MsgType type);
   void record_delivery();
   /// A sent message lost to a fault (downed link, crashed or not-yet-joined
   /// recipient) instead of delivered.
@@ -41,6 +46,9 @@ class Trace {
     return messages_dropped_;
   }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] const MsgHistogram& sent_by_type() const {
+    return sent_by_type_;
+  }
 
   /// True iff every process in `who` decided.
   [[nodiscard]] bool all_decided(const IdSet& who) const;
@@ -63,6 +71,7 @@ class Trace {
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  MsgHistogram sent_by_type_{};
 };
 
 }  // namespace bftcup::sim

@@ -4,6 +4,8 @@
 
 #include "adversary/behaviors.hpp"
 #include "cup/scenario_builder.hpp"
+#include "cup/scenario_registry.hpp"
+#include "graph/osr.hpp"
 #include "test_util.hpp"
 
 namespace bftcup {
@@ -118,6 +120,60 @@ TEST(AttackCorpusTest, WrongValueFloodCannotOutvoteMembers) {
   for (const auto& [who, d] : report.decisions) {
     EXPECT_NE(d.value, 666U) << to_string(who);
   }
+}
+
+// --- the explorer-found corpus (registry family "explored/*") -------------
+// Minimized by the adversary explorer's shrinker (1-minimal: no single
+// deletion preserves the classification); lines live in
+// scenario_registry.cpp, digests in determinism_test.cpp. These tests pin
+// the *verdicts* each counterexample was checked in for, replayed from the
+// registry name alone.
+
+TEST(ExploredCorpusTest, VerdictsMatchTheMinimizedFindings) {
+  const struct {
+    const char* name;
+    const char* verdict;
+  } expected[] = {
+      {"explored/agreement-14960b90", "AGREEMENT-VIOLATED"},
+      {"explored/agreement-2085e512", "AGREEMENT-VIOLATED"},
+      {"explored/agreement-2085e512-guarded", "NO-TERMINATION"},
+      {"explored/agreement-unsat-a872e429", "AGREEMENT-VIOLATED"},
+      {"explored/liveness-94af2f39", "NO-TERMINATION"},
+      {"explored/liveness-489bf1e6", "NO-TERMINATION"},
+      {"explored/liveness-fda77490", "NO-TERMINATION"},
+      {"explored/witness-45674aae", "SOLVED"},
+  };
+  const auto& registry = cup::ScenarioRegistry::paper();
+  for (const auto& [name, verdict] : expected) {
+    EXPECT_EQ(registry.run(name).verdict(), verdict) << name;
+  }
+}
+
+TEST(ExploredCorpusTest, AdversaryFreeAgreementBreakHasNoByzantineHelp) {
+  // The star finding: agreement breaks among 8 *correct* processes. Pin
+  // the structural facts that make it remarkable, not just the verdict.
+  const auto& registry = cup::ScenarioRegistry::paper();
+  const cup::Scenario scenario =
+      registry.make("explored/agreement-14960b90");
+  EXPECT_TRUE(scenario.faulty.empty());
+  EXPECT_TRUE(
+      graph::check_bft_cup_requirements(scenario.graph, scenario.faulty,
+                                        scenario.f)
+          .satisfied);
+  const auto report = cup::run_scenario(scenario);
+  EXPECT_FALSE(report.agreement);
+  EXPECT_EQ(report.correct.size(), 8U);
+}
+
+TEST(ExploredCorpusTest, ClosureGuardTradesTheNewAttackForLiveness) {
+  // Same genome, guard on vs off — the fig4a/bridge-hiding pattern holds
+  // for the generalized attack the explorer found.
+  const auto& registry = cup::ScenarioRegistry::paper();
+  const auto attack = registry.run("explored/agreement-2085e512");
+  const auto guarded = registry.run("explored/agreement-2085e512-guarded");
+  EXPECT_FALSE(attack.agreement);
+  EXPECT_TRUE(guarded.agreement);
+  EXPECT_FALSE(guarded.all_correct_decided);
 }
 
 class AttackMatrixSweep

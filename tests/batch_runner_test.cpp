@@ -176,6 +176,53 @@ TEST(BatchReportTest, LegacyTwelveColumnCsvStillImports) {
   EXPECT_EQ(r.sig_hits, 0U);
 }
 
+TEST(BatchReportTest, ScenarioNamesWithCommasAndQuotesRoundTrip) {
+  // Generated scenario names (e.g. explorer artifacts) can contain CSV
+  // metacharacters; the report layer must quote/escape rather than rely on
+  // upstream name validation. Regression for the naive-split importer.
+  const BatchReport report(
+      {record("gen3/clique{a,b},f=2", 1, "SOLVED", 10, 5),
+       record("he said \"boom\", twice", 2, "AGREEMENT-VIOLATED", -1, 3),
+       record("plain-name", 3, "SOLVED", 7, 2)});
+
+  const std::string csv = report.runs_csv();
+  const BatchReport csv_back = BatchReport::from_runs_csv(csv);
+  ASSERT_EQ(csv_back.runs().size(), 3U);
+  EXPECT_EQ(csv_back, report);
+  EXPECT_EQ(csv_back.runs_csv(), csv);
+  // Unquoted names stay byte-identical to the pre-escaping format.
+  EXPECT_NE(csv.find("\nplain-name,3,"), std::string::npos);
+
+  const std::string json = report.to_json();
+  const BatchReport json_back = BatchReport::from_json(json);
+  EXPECT_EQ(json_back, report);
+  EXPECT_EQ(json_back.to_json(), json);
+
+  // summary_csv quotes the aggregated scenario column the same way.
+  EXPECT_NE(report.summary_csv().find("\"gen3/clique{a,b},f=2\""),
+            std::string::npos);
+}
+
+TEST(BatchReportTest, ScenarioNamesWithLineBreaksRoundTrip) {
+  // A quoted field may span physical lines (RFC 4180); the importer must
+  // split records quote-aware, not on every newline.
+  const BatchReport report({record("line1\nline2", 1, "SOLVED", 10, 5),
+                            record("after", 2, "SOLVED", 7, 2)});
+  const BatchReport csv_back = BatchReport::from_runs_csv(report.runs_csv());
+  EXPECT_EQ(csv_back, report);
+  const BatchReport json_back = BatchReport::from_json(report.to_json());
+  EXPECT_EQ(json_back, report);
+}
+
+TEST(BatchReportTest, UnterminatedCsvQuoteThrows) {
+  const std::string bad =
+      std::string(
+          "scenario,seed,verdict,agreement,validity,terminated,latency,"
+          "messages,delivered,bytes,value,digest\n") +
+      "\"oops,1,SOLVED,1,1,1,1,1,1,1,1,abc\n";
+  EXPECT_THROW(BatchReport::from_runs_csv(bad), std::invalid_argument);
+}
+
 TEST(BatchReportTest, MalformedImportsThrow) {
   EXPECT_THROW(BatchReport::from_runs_csv("nonsense header\n"),
                std::invalid_argument);

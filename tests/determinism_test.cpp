@@ -258,6 +258,57 @@ TEST(GoldenCorpusTest, DigestsMatchThePreRefactorImplementation) {
   }
 }
 
+/// The explorer-found attack corpus (see register_explored in
+/// scenario_registry.cpp), captured when the findings were minimized and
+/// checked in. Each one-line genome must replay bit-identically forever;
+/// an intentional semantic change must regenerate this table and say so.
+constexpr GoldenDigest kExploredCorpus[] = {
+    {"explored/agreement-14960b90", 1,
+     "83db300bdff54d51becb5b1999360b5ed4c8db9830bb9aa880b48293063b23e0"},  // AGREEMENT-VIOLATED
+    {"explored/agreement-14960b90", 7,
+     "234aa6cfef02ace1e1bdd1c7ed7330b68d0f0e7bb0eb8c9cda20c8b3530a1f6f"},  // NO-TERMINATION
+    {"explored/agreement-2085e512", 1,
+     "0d6e03b1097b2be19749ab1efb167f6d9242d2777379df1e94e717c704fd2312"},  // AGREEMENT-VIOLATED
+    {"explored/agreement-2085e512", 7,
+     "477e7658914ee3b7a5d448a16faf1919564f906c71fcff44c0bcd3c0cc69ea75"},  // AGREEMENT-VIOLATED
+    {"explored/agreement-2085e512-guarded", 1,
+     "42f02ad4e747acb8a7f5f61442218b68181436fd1c40f8ef1437527e39fd8a10"},  // NO-TERMINATION
+    {"explored/agreement-2085e512-guarded", 7,
+     "817c95038187c146c08919f746206338d9f59076903a57734a6c3c17e1d2b3d1"},  // NO-TERMINATION
+    {"explored/agreement-unsat-a872e429", 1,
+     "770210d38111571356617fde443cb141d549dea409f25ff53988688f995cefbd"},  // AGREEMENT-VIOLATED
+    {"explored/agreement-unsat-a872e429", 7,
+     "b738f51679a398cfd5b131f42cd7ef74a373e3535e02d09fe6a4ee5bb7682207"},  // AGREEMENT-VIOLATED
+    {"explored/liveness-94af2f39", 1,
+     "a19c0e11445b11e06b6e2f2e23fed432f26e755e1bd34dc1b7b095415c748d3f"},  // NO-TERMINATION
+    {"explored/liveness-94af2f39", 7,
+     "92c4d6b220ec8dc75d78a5e00847aefefc298b25ca920fc16874044dfc2ef7f5"},  // AGREEMENT-VIOLATED
+    {"explored/liveness-489bf1e6", 1,
+     "da708bc47abc650bc19f09b0db0b9521e5e5734a18d577d5e2463bed06fdac96"},  // NO-TERMINATION
+    {"explored/liveness-489bf1e6", 7,
+     "2ea0edac1143a77f783ed59fd2063c5b5a33f9ef1defd48a4e3ad464bed1aeda"},  // AGREEMENT-VIOLATED
+    {"explored/liveness-fda77490", 1,
+     "b2443d5e54113c568b3e8db354ca8717f537cb428955e4261cef648b35dba231"},  // NO-TERMINATION
+    {"explored/liveness-fda77490", 7,
+     "84b1dfd3f2a5bf2b0f89b25fbe4602a4f6fed7edd8180db69cb14873251b54ac"},  // NO-TERMINATION
+    {"explored/witness-45674aae", 1,
+     "b70e3aba8b845f47a3afa354e507ea20e8fbaedbd9cc048eb37bb50250de2ba3"},  // SOLVED
+    {"explored/witness-45674aae", 7,
+     "f5c1d1cb0d76223922ce21efbb36ace0ec8a4b6c9689e422e0b2e21d77e59dba"},  // SOLVED
+};
+
+TEST(GoldenCorpusTest, ExploredCorpusReplaysFromRegistryNamesAlone) {
+  const auto& registry = cup::ScenarioRegistry::paper();
+  // Every checked-in explored/* scenario is covered here (at two seeds).
+  EXPECT_EQ(registry.names_with_tag("explored").size() * 2,
+            std::size(kExploredCorpus));
+  for (const GoldenDigest& golden : kExploredCorpus) {
+    const cup::RunReport report = registry.run(golden.scenario, golden.seed);
+    EXPECT_EQ(report.digest(), golden.digest)
+        << golden.scenario << " seed=" << golden.seed;
+  }
+}
+
 TEST(GoldenCorpusTest, DigestsAreInvariantUnderDisabledCaches) {
   // The membership-engine caches (dirty-SCC candidate reuse, the shared
   // evaluation memo, the signature-verification memo) store pure functions
