@@ -17,13 +17,16 @@
 // CI on the incremental numbers.
 //
 // Usage: bench_membership [output.json] [--quick]
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "cup/scenario_builder.hpp"
 #include "protocol/eval_cache.hpp"
 #include "protocol/sink_search.hpp"
@@ -48,38 +51,6 @@ struct Result {
   }
 };
 
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-constexpr std::size_t kCoreSize = 8;
-
-/// The incr-reeval system: a complete core (the sink the search must find,
-/// small enough for exhaustive enumeration) plus a periphery of directed
-/// 3-cycles, each member also pointing at two core members. The knowledge
-/// graph decomposes into one core SCC and many small periphery SCCs — the
-/// regime the engine targets: one SETPDS perturbs one component while the
-/// rest stay clean.
-graph::Digraph make_sharded_graph(std::size_t n) {
-  graph::Digraph g;
-  for (std::uint64_t a = 1; a <= kCoreSize; ++a) {
-    for (std::uint64_t b = 1; b <= kCoreSize; ++b) {
-      if (a != b) g.add_edge(ProcessId(a), ProcessId(b));
-    }
-  }
-  for (std::uint64_t base = kCoreSize + 1; base + 2 <= n; base += 3) {
-    for (std::uint64_t k = 0; k < 3; ++k) {
-      const std::uint64_t id = base + k;
-      g.add_edge(ProcessId(id), ProcessId(base + (k + 1) % 3));
-      // Two *distinct* core contacts per periphery member.
-      g.add_edge(ProcessId(id), ProcessId(id % kCoreSize + 1));
-      g.add_edge(ProcessId(id), ProcessId((id + 3) % kCoreSize + 1));
-    }
-  }
-  return g;
-}
 
 /// One observer view re-evaluated after every add_pd, like a node does per
 /// SETPDS merge: first the shuffled build-up of the whole system, then a
@@ -99,7 +70,8 @@ Result run_incr_reeval_once(std::size_t n, bool incremental,
   rng.shuffle(pds);
   // Steady-state stragglers: late processes whose PD names a core member.
   for (std::uint64_t s = 0; s < 16; ++s) {
-    pds.emplace_back(ProcessId(1000 + s), IdSet{ProcessId(s % kCoreSize + 1)});
+    pds.emplace_back(ProcessId(1000 + s),
+                     IdSet{ProcessId(s % kShardedCoreSize + 1)});
   }
 
   protocol::SearchOptions options;
@@ -145,32 +117,60 @@ Result run_incr_reeval(std::size_t n, bool incremental, const char* strategy) {
 
 /// Full simulation: discovery to membership to decision, every node
 /// evaluating per merge. Incremental additionally shares the evaluation
-/// cache across nodes and memoizes signature checks.
+/// cache across nodes and memoizes signature checks. Three seeds per leg:
+/// a single ~100 ms run is too small a quantum for a gated wall-time ratio
+/// on a busy machine (counters are summed; the seconds are the caller's).
 Result run_discovery(std::size_t n, bool incremental) {
-  const auto report = cup::ScenarioBuilder(make_sharded_graph(n))
-                          .mode(cup::Mode::kCupft)
-                          .seed(11)
-                          .horizon(400'000)
-                          .caching(incremental)
-                          .run();
-
   Result result;
   result.workload = "discovery";
   result.strategy = "exhaustive";
   result.mode = incremental ? "incremental" : "cold";
   result.n = n;
-  result.evals = report.evaluations;
-  result.eval_hits = report.eval_cache_hits;
-  result.sig_computed = report.signatures_verified;
-  result.sig_hits = report.signatures_cached;
+  for (std::uint64_t seed : {11, 12, 13}) {
+    const auto report = cup::ScenarioBuilder(make_sharded_graph(n))
+                            .mode(cup::Mode::kCupft)
+                            .seed(seed)
+                            .horizon(400'000)
+                            .caching(incremental)
+                            .run();
+    result.evals += report.evaluations;
+    result.eval_hits += report.eval_cache_hits;
+    result.sig_computed += report.signatures_verified;
+    result.sig_hits += report.signatures_cached;
+  }
   return result;
 }
 
-Result timed_discovery(std::size_t n, bool incremental) {
-  const double t0 = now_seconds();
-  Result result = run_discovery(n, incremental);
-  result.seconds = now_seconds() - t0;
-  return result;
+/// The discovery legs are gated now (the PR 5 probe-gate fix), so the
+/// recorded speedup_vs_cold must survive scheduler hiccups *and*
+/// clock-frequency drift across a ~1 s bench. Each rep times cold and
+/// incremental back to back (drift cancels within the pair), a discarded
+/// warmup rep absorbs first-touch page faults, and the *median* per-rep
+/// ratio is recorded (best-of couples the two sides to different hiccups;
+/// the median pair keeps them coupled).
+std::pair<Result, Result> timed_discovery_pair(std::size_t n) {
+  constexpr int kReps = 6;
+  std::vector<std::pair<Result, Result>> pairs;
+  for (int rep = 0; rep <= kReps; ++rep) {
+    // Alternate which side runs first: whichever leg follows the other
+    // inherits its freshly freed allocator pages, and that small edge must
+    // not land on one side systematically.
+    const bool cold_first = rep % 2 == 0;
+    Result c, i;
+    for (int leg = 0; leg < 2; ++leg) {
+      const bool incremental = (leg == 0) != cold_first;
+      const double t0 = now_seconds();
+      Result r = run_discovery(n, incremental);
+      r.seconds = now_seconds() - t0;
+      (incremental ? i : c) = std::move(r);
+    }
+    if (rep > 0) pairs.emplace_back(std::move(c), std::move(i));  // drop warmup
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const auto& a, const auto& b) {
+    return a.first.seconds * b.second.seconds <
+           b.first.seconds * a.second.seconds;  // by cold/incr ratio
+  });
+  return pairs[pairs.size() / 2];
 }
 
 const Result* find(const std::vector<Result>& results, const Result& like) {
@@ -211,13 +211,13 @@ void write_json(const std::string& path, const std::vector<Result>& results) {
                  r.evals_per_sec(), cold != nullptr ? cold->seconds : 0.0,
                  speedup);
     if (r.workload == "discovery") {
-      // Wall time here is messaging-bound (the run decides within ~100
-      // ticks) and the single ~ms measurement is too noisy to gate on; the
-      // caches' effect shows up as memoized work instead. "gate": false
-      // tells check_bench_regression.py to report but not enforce the row.
+      // Gated since the PR 5 probe-gate fix: the ratio comes from
+      // interleaved median-of-pairs measurement (drift-robust; see
+      // timed_discovery_pair), and the adaptive gate
+      // keeps the engine at or above cold speed on this churn-bound path.
       std::fprintf(f,
                    ", \"eval_hits\": %llu, \"signatures_computed\": %llu, "
-                   "\"signatures_memoized\": %llu, \"gate\": false",
+                   "\"signatures_memoized\": %llu, \"gate\": true",
                    static_cast<unsigned long long>(r.eval_hits),
                    static_cast<unsigned long long>(r.sig_computed),
                    static_cast<unsigned long long>(r.sig_hits));
@@ -266,14 +266,19 @@ int main(int argc, char** argv) {
               "strategy", "mode", "n", "evals", "seconds", "evals/sec",
               "speedup");
   for (std::size_t n : sizes) {
+    // The discovery pair measures first: its gated ratio is sensitive to
+    // allocator state, and the incr-reeval legs churn the heap hard.
+    auto [cold_disc, incr_disc] = timed_discovery_pair(n);
+    results.push_back(std::move(cold_disc));
+    print_row(results.back(), results);
+    results.push_back(std::move(incr_disc));
+    print_row(results.back(), results);
     for (const bool incremental : {false, true}) {
       results.push_back(run_incr_reeval<bftcup::protocol::ExhaustiveSinkSearch>(
           n, incremental, "exhaustive"));
       print_row(results.back(), results);
       results.push_back(run_incr_reeval<bftcup::protocol::StructuredSinkSearch>(
           n, incremental, "structured"));
-      print_row(results.back(), results);
-      results.push_back(timed_discovery(n, incremental));
       print_row(results.back(), results);
     }
   }

@@ -5,10 +5,12 @@
 // instead of per-call-site printf casts.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "cup/batch_runner.hpp"
+#include "graph/digraph.hpp"
 
 namespace bftcup::bench {
 
@@ -18,6 +20,40 @@ inline void print_header(const char* experiment, const char* claim) {
 
 inline void print_row(const std::string& name, const cup::RunReport& report) {
   cup::print_run_row(stdout, name, report);
+}
+
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The membership/run-engine bench system: a complete core of
+/// `kShardedCoreSize` processes (the sink the search must find, small
+/// enough for exhaustive enumeration) plus a periphery of directed
+/// 3-cycles, each member also pointing at two distinct core members. The
+/// knowledge graph decomposes into one core SCC and many small periphery
+/// SCCs — the regime the membership engine targets. One definition serves
+/// bench_membership and bench_runengine so their checked-in BENCH_*.json
+/// baselines stay measurements of the same workload family.
+inline constexpr std::size_t kShardedCoreSize = 8;
+
+inline graph::Digraph make_sharded_graph(std::size_t n) {
+  graph::Digraph g;
+  for (std::uint64_t a = 1; a <= kShardedCoreSize; ++a) {
+    for (std::uint64_t b = 1; b <= kShardedCoreSize; ++b) {
+      if (a != b) g.add_edge(ProcessId(a), ProcessId(b));
+    }
+  }
+  for (std::uint64_t base = kShardedCoreSize + 1; base + 2 <= n; base += 3) {
+    for (std::uint64_t k = 0; k < 3; ++k) {
+      const std::uint64_t id = base + k;
+      g.add_edge(ProcessId(id), ProcessId(base + (k + 1) % 3));
+      g.add_edge(ProcessId(id), ProcessId(id % kShardedCoreSize + 1));
+      g.add_edge(ProcessId(id), ProcessId((id + 3) % kShardedCoreSize + 1));
+    }
+  }
+  return g;
 }
 
 }  // namespace bftcup::bench

@@ -1,0 +1,36 @@
+// Fast non-cryptographic content hashing for memo-table bucketing.
+//
+// FNV-1a processed 8 bytes at a time. Used only to pick hash buckets —
+// every memo that keys on it compares full key bytes on lookup, so a
+// collision degrades to an equality check, never to a wrong result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace bftcup {
+
+inline constexpr std::size_t kFnvOffsetBasis = 14695981039346656037ULL;
+
+/// Mixes `size` bytes at `data` into `state` (start from kFnvOffsetBasis).
+inline std::size_t fnv1a_mix(std::size_t state, const void* data,
+                             std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes + i, 8);
+    state = (state ^ word) * 1099511628211ULL;
+  }
+  for (; i < size; ++i) {
+    state = (state ^ bytes[i]) * 1099511628211ULL;
+  }
+  return state;
+}
+
+inline std::size_t fnv1a_mix_u64(std::size_t state, std::uint64_t v) {
+  return fnv1a_mix(state, &v, sizeof(v));
+}
+
+}  // namespace bftcup

@@ -1,0 +1,16 @@
+#include "crypto/keyring_cache.hpp"
+
+#include "crypto/keys.hpp"
+
+namespace bftcup::crypto {
+
+const Bytes& KeyringCache::secret_for(std::uint64_t key_seed, ProcessId id) {
+  const SeedId key{key_seed, id.raw()};
+  auto it = secrets_.find(key);
+  if (it == secrets_.end()) {
+    it = secrets_.emplace(key, derive_process_secret(key_seed, id)).first;
+  }
+  return it->second;
+}
+
+}  // namespace bftcup::crypto

@@ -1,0 +1,52 @@
+// Cross-run key-derivation cache for pooled simulations.
+//
+// A fresh Simulator derives every process secret with a SHA-256 over
+// (registry seed, id) — negligible once, but a pure fixed cost when
+// BatchRunner and the explorer execute millions of short runs over the
+// same topology families and seed ranges. Derivation is a pure function of
+// (key-seed, id), so a RunContext keeps one KeyringCache across all its
+// runs and the registry it recycles consults it instead of re-deriving.
+//
+// References returned by secret_for stay valid for the cache's lifetime
+// (unordered_map never invalidates references on rehash), which outlives
+// every run of the owning context. Single-threaded, like the context.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace bftcup::crypto {
+
+class KeyringCache {
+ public:
+  /// The secret for `id` under registry seed `key_seed`, derived on first
+  /// use and shared by every subsequent run that asks again.
+  [[nodiscard]] const Bytes& secret_for(std::uint64_t key_seed, ProcessId id);
+
+  [[nodiscard]] std::size_t size() const { return secrets_.size(); }
+
+ private:
+  struct SeedId {
+    std::uint64_t seed;
+    std::uint64_t id;
+
+    friend bool operator==(const SeedId&, const SeedId&) = default;
+  };
+  struct SeedIdHash {
+    std::size_t operator()(const SeedId& k) const {
+      // splitmix-style combine; both halves are well distributed already.
+      std::uint64_t h = k.seed ^ (k.id * 0x9e3779b97f4a7c15ULL);
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::unordered_map<SeedId, Bytes, SeedIdHash> secrets_;
+};
+
+}  // namespace bftcup::crypto

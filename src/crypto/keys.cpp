@@ -1,15 +1,16 @@
 #include "crypto/keys.hpp"
 
 #include "crypto/hmac.hpp"
+#include "crypto/keyring_cache.hpp"
+#include "crypto/verify_cache.hpp"
 
 namespace bftcup::crypto {
-namespace {
 
-Bytes derive_secret(std::uint64_t seed, ProcessId id) {
+Bytes derive_process_secret(std::uint64_t key_seed, ProcessId id) {
   Bytes material;
   material.reserve(16);
   for (int i = 0; i < 8; ++i) {
-    material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    material.push_back(static_cast<std::uint8_t>(key_seed >> (8 * i)));
   }
   for (int i = 0; i < 8; ++i) {
     material.push_back(static_cast<std::uint8_t>(id.raw() >> (8 * i)));
@@ -18,19 +19,30 @@ Bytes derive_secret(std::uint64_t seed, ProcessId id) {
   return Bytes(d.begin(), d.end());
 }
 
-}  // namespace
-
 KeyRegistry::KeyRegistry(std::uint64_t system_seed) : seed_(system_seed) {}
 
+void KeyRegistry::reset(std::uint64_t system_seed) {
+  if (seed_ != system_seed) secrets_.clear();  // clear() keeps the buckets
+  seed_ = system_seed;
+}
+
 const Bytes& KeyRegistry::secret_for(ProcessId id) {
+  if (keyring_ != nullptr) return keyring_->secret_for(seed_, id);
   auto it = secrets_.find(id);
   if (it == secrets_.end()) {
-    it = secrets_.emplace(id, derive_secret(seed_, id)).first;
+    it = secrets_.emplace(id, derive_process_secret(seed_, id)).first;
   }
   return it->second;
 }
 
 Signature KeyRegistry::sign_as(ProcessId id, BytesView message) {
+  if (sign_cache_ != nullptr) {
+    return sign_cache_->sign(*this, seed_, id, message);
+  }
+  return compute_signature(id, message);
+}
+
+Signature KeyRegistry::compute_signature(ProcessId id, BytesView message) {
   const Bytes& secret = secret_for(id);
   const Digest tag = hmac_sha256(secret, message);
   const Digest body = sha256(message);

@@ -30,9 +30,33 @@ struct Signature {
   friend bool operator==(const Signature&, const Signature&) = default;
 };
 
+class KeyringCache;  // crypto/keyring_cache.hpp
+class SignCache;     // crypto/verify_cache.hpp
+
+/// The secret-derivation function itself: SHA-256 over (key_seed, id).
+/// Pure, so the cross-run KeyringCache can share outputs between runs.
+[[nodiscard]] Bytes derive_process_secret(std::uint64_t key_seed, ProcessId id);
+
 class KeyRegistry {
  public:
   explicit KeyRegistry(std::uint64_t system_seed);
+
+  /// Re-seeds the registry for a recycled run. Locally derived secrets are
+  /// dropped (they belong to the old seed); an attached KeyringCache keeps
+  /// its entries — they are keyed by (seed, id) and stay valid forever.
+  void reset(std::uint64_t system_seed);
+
+  /// Routes secret derivation through a cross-run cache owned by the
+  /// caller (RunContext). May be null; the cache must outlive the registry.
+  void attach_keyring(KeyringCache* cache) { keyring_ = cache; }
+
+  /// Routes sign_as through a signature memo (crypto/verify_cache.hpp).
+  /// May be null; the cache must outlive the registry. Signatures are pure
+  /// functions of (seed, signer, payload), so results are identical with
+  /// the memo attached or not.
+  void attach_sign_cache(SignCache* cache) { sign_cache_ = cache; }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   /// Derives (and caches) the secret for `id`. Deterministic in the seed.
   [[nodiscard]] const Bytes& secret_for(ProcessId id);
@@ -41,13 +65,20 @@ class KeyRegistry {
   [[nodiscard]] bool verify(ProcessId id, BytesView message,
                             const Signature& sig);
 
-  /// Computes `id`'s signature over `message`. Internal: reachable by
-  /// processes only through their own Signer.
+  /// Computes `id`'s signature over `message` (through the sign memo when
+  /// one is attached). Internal: reachable by processes only through their
+  /// own Signer.
   [[nodiscard]] Signature sign_as(ProcessId id, BytesView message);
+
+  /// The raw HMAC computation, bypassing any attached memo (the memo's
+  /// fill path; also useful to tests).
+  [[nodiscard]] Signature compute_signature(ProcessId id, BytesView message);
 
  private:
   std::uint64_t seed_;
   std::unordered_map<ProcessId, Bytes> secrets_;
+  KeyringCache* keyring_ = nullptr;
+  SignCache* sign_cache_ = nullptr;
 };
 
 }  // namespace bftcup::crypto

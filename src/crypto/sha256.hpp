@@ -33,7 +33,7 @@ class Sha256 {
 [[nodiscard]] Digest sha256(BytesView data);
 
 /// Streams a little-endian u64 into a running hash — the canonical integer
-/// encoding for content digests (view digests, verification memo keys).
+/// encoding for content digests (report digests, key derivation).
 void sha256_update_u64(Sha256& hasher, std::uint64_t v);
 
 /// Digest as a byte vector (convenient for codec/signature plumbing).

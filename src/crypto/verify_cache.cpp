@@ -3,17 +3,13 @@
 namespace bftcup::crypto {
 namespace {
 
-/// Collision-resistant key over the full verification input. Streaming —
-/// no intermediate buffer is materialized.
-Digest cache_key(ProcessId signer, BytesView message, const Signature& sig) {
-  Sha256 hasher;
-  static constexpr std::uint8_t kDomain[] = {'v', 'f', 'y'};
-  hasher.update(BytesView(kDomain, sizeof(kDomain)));
-  sha256_update_u64(hasher, signer.raw());
-  sha256_update_u64(hasher, message.size());
-  hasher.update(message);
-  hasher.update(BytesView(sig.bytes.data(), sig.bytes.size()));
-  return hasher.finalize();
+detail::SigMemoKey own_key(const detail::SigMemoKeyView& view) {
+  detail::SigMemoKey key;
+  key.seed = view.seed;
+  key.signer = view.signer;
+  key.payload.assign(view.payload.begin(), view.payload.end());
+  if (view.sig != nullptr) key.sig = *view.sig;
+  return key;
 }
 
 }  // namespace
@@ -22,14 +18,29 @@ bool VerifyCache::verify(KeyRegistry& registry, ProcessId signer,
                          BytesView message, const Signature& sig) {
   ++stats_.lookups;
   if (!memo_enabled_) return registry.verify(signer, message, sig);
-  const Digest key = cache_key(signer, message, sig);
-  if (auto it = memo_.find(key); it != memo_.end()) {
+  const detail::SigMemoKeyView view{registry.seed(), signer.raw(), message,
+                                    &sig};
+  if (auto it = memo_.find(view); it != memo_.end()) {
     ++stats_.hits;
     return it->second;
   }
   const bool ok = registry.verify(signer, message, sig);
-  memo_.emplace(key, ok);
+  memo_.emplace(own_key(view), ok);
   return ok;
+}
+
+const Signature& SignCache::sign(KeyRegistry& registry, std::uint64_t seed,
+                                 ProcessId signer, BytesView message) {
+  ++stats_.lookups;
+  const detail::SigMemoKeyView view{seed, signer.raw(), message, nullptr};
+  if (auto it = memo_.find(view); it != memo_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  const auto [it, inserted] =
+      memo_.emplace(own_key(view), registry.compute_signature(signer, message));
+  (void)inserted;
+  return it->second;
 }
 
 }  // namespace bftcup::crypto

@@ -1,32 +1,118 @@
-// Signature-verification memo.
+// Signature memos: verification outcomes and signature values.
 //
-// The simulation re-delivers the same signed artifacts many times: every
+// The simulation re-creates the same signed artifacts many times: every
 // SETPDS reply repeats previously seen SignedPds (including Byzantine
-// forgeries, which honest nodes must reject on every delivery), and every
+// forgeries, which honest nodes must reject on every delivery), every
 // PBFT-DECIDE certificate re-verifies the same quorum of COMMIT shares at
-// each recipient. Verification is deterministic — a pure function of
-// (signer, payload, signature) under the simulated PKI — so both accepts
-// and *rejects* are safely memoizable. A hit costs one SHA-256 pass over
-// the key material instead of the full HMAC-SHA256 recompute (two HMAC
-// passes plus the redundancy digest), and no allocation.
+// each recipient, and a recycled run context replays whole runs whose
+// artifacts are byte-identical. Signing and verification are pure
+// functions of (key seed, signer, payload[, signature]) under the
+// simulated PKI, so both are memoizable — accepts and *rejects* alike.
 //
-// One cache per Simulator: single-threaded by construction, and scoping it
-// to the run keeps replay bit-identical (results are value-equal either
-// way; see README "Membership engine caching").
+// Keys are the raw tuples themselves, bucketed by a fast non-cryptographic
+// hash and compared byte-for-byte on lookup. This is deliberately NOT a
+// digest-trusting design: a hash collision degrades to an equality check,
+// never to a wrong answer, and a memo hit costs a ~100-byte mix + memcmp
+// instead of the SHA-256 passes that used to dominate short pooled runs.
+// Binding the key seed makes entries valid forever, so a recycled
+// Simulator keeps both memos across reset() and replayed runs perform
+// near-zero crypto. One instance per Simulator: single-threaded by
+// construction.
 #pragma once
 
 #include <cstring>
 #include <unordered_map>
 
+#include "common/fnv.hpp"
 #include "crypto/keys.hpp"
 
 namespace bftcup::crypto {
+
+namespace detail {
+
+/// FNV-1a (common/fnv.hpp) over the concatenated key fields. Bucketing
+/// only — equality is always a full byte compare, so hash quality affects
+/// speed, never soundness.
+struct SigMemoHasher {
+  std::size_t state = kFnvOffsetBasis;
+
+  void mix(const void* data, std::size_t size) {
+    state = fnv1a_mix(state, data, size);
+  }
+  void mix_u64(std::uint64_t v) { state = fnv1a_mix_u64(state, v); }
+};
+
+/// Owning memo key: every input the signing/verification verdict depends
+/// on. `sig` is all-zero (and ignored) for the signing memo.
+struct SigMemoKey {
+  std::uint64_t seed = 0;
+  std::uint64_t signer = 0;
+  Bytes payload;
+  Signature sig{};
+
+  friend bool operator==(const SigMemoKey&, const SigMemoKey&) = default;
+};
+
+/// Borrowed view of a key for heterogeneous (allocation-free) lookup.
+struct SigMemoKeyView {
+  std::uint64_t seed = 0;
+  std::uint64_t signer = 0;
+  BytesView payload;
+  const Signature* sig = nullptr;  ///< null for the signing memo
+};
+
+struct SigMemoHash {
+  using is_transparent = void;
+
+  std::size_t operator()(const SigMemoKey& k) const {
+    SigMemoHasher h;
+    h.mix_u64(k.seed);
+    h.mix_u64(k.signer);
+    h.mix(k.payload.data(), k.payload.size());
+    h.mix(k.sig.bytes.data(), k.sig.bytes.size());
+    return h.state;
+  }
+  std::size_t operator()(const SigMemoKeyView& k) const {
+    static const Signature kZeroSig{};
+    SigMemoHasher h;
+    h.mix_u64(k.seed);
+    h.mix_u64(k.signer);
+    h.mix(k.payload.data(), k.payload.size());
+    const Signature& sig = k.sig != nullptr ? *k.sig : kZeroSig;
+    h.mix(sig.bytes.data(), sig.bytes.size());
+    return h.state;
+  }
+};
+
+struct SigMemoEq {
+  using is_transparent = void;
+
+  bool operator()(const SigMemoKey& a, const SigMemoKey& b) const {
+    return a == b;
+  }
+  bool operator()(const SigMemoKeyView& a, const SigMemoKey& b) const {
+    if (a.seed != b.seed || a.signer != b.signer) return false;
+    if (a.payload.size() != b.payload.size()) return false;
+    if (std::memcmp(a.payload.data(), b.payload.data(), a.payload.size()) !=
+        0) {
+      return false;
+    }
+    static const Signature kZeroSig{};
+    const Signature& sig = a.sig != nullptr ? *a.sig : kZeroSig;
+    return sig == b.sig;
+  }
+  bool operator()(const SigMemoKey& a, const SigMemoKeyView& b) const {
+    return operator()(b, a);
+  }
+};
+
+}  // namespace detail
 
 class VerifyCache {
  public:
   struct Stats {
     std::uint64_t lookups = 0;  ///< verify() calls routed through the cache
-    std::uint64_t hits = 0;     ///< served from the memo (no HMAC recompute)
+    std::uint64_t hits = 0;     ///< served from the memo (no MAC recompute)
   };
 
   /// `memo_enabled` = false keeps the counters (so reports can still show
@@ -38,21 +124,53 @@ class VerifyCache {
   [[nodiscard]] bool verify(KeyRegistry& registry, ProcessId signer,
                             BytesView message, const Signature& sig);
 
+  /// Per-run toggle for a recycled cache. Retained entries stay in place
+  /// while disabled (they are never consulted) and become servable again
+  /// when re-enabled — soundness comes from the seed-bound key, not from
+  /// clearing.
+  void set_memo_enabled(bool enabled) { memo_enabled_ = enabled; }
+
+  /// Drops every entry but keeps the hash-table buckets. Called by the
+  /// recycled engine when the memo outgrows its cap, never for soundness.
+  void clear() { memo_.clear(); }
+
+  [[nodiscard]] std::size_t entry_count() const { return memo_.size(); }
   [[nodiscard]] bool memo_enabled() const { return memo_enabled_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  struct DigestHash {
-    std::size_t operator()(const Digest& d) const {
-      // The key is itself a SHA-256 digest; its prefix is already uniform.
-      std::size_t h = 0;
-      std::memcpy(&h, d.data(), sizeof(h));
-      return h;
-    }
+  bool memo_enabled_;
+  std::unordered_map<detail::SigMemoKey, bool, detail::SigMemoHash,
+                     detail::SigMemoEq>
+      memo_;
+  Stats stats_;
+};
+
+/// The signing-side memo: (key seed, signer, payload) -> Signature. The
+/// protocols re-sign identical artifacts on every recycled replay (own
+/// PDs, PBFT vote payloads); a hit replaces the HMAC-SHA256 computation
+/// with a table lookup. Attached to a KeyRegistry by the run engine.
+class SignCache {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
   };
 
-  bool memo_enabled_;
-  std::unordered_map<Digest, bool, DigestHash> memo_;
+  /// Memoized KeyRegistry::sign_as. `seed` must be the registry's current
+  /// key seed (the registry passes it in).
+  [[nodiscard]] const Signature& sign(KeyRegistry& registry,
+                                      std::uint64_t seed, ProcessId signer,
+                                      BytesView message);
+
+  void clear() { memo_.clear(); }
+  [[nodiscard]] std::size_t entry_count() const { return memo_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<detail::SigMemoKey, Signature, detail::SigMemoHash,
+                     detail::SigMemoEq>
+      memo_;
   Stats stats_;
 };
 

@@ -6,9 +6,12 @@
 #include <cinttypes>
 #include <cmath>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
+
+#include "cup/run_context.hpp"
 
 namespace bftcup::cup {
 
@@ -91,6 +94,8 @@ RunRecord summarize(std::string scenario, std::uint64_t seed,
   record.eval_hits = report.eval_cache_hits;
   record.signatures = report.signatures_verified;
   record.sig_hits = report.signatures_cached;
+  record.recycled = report.contexts_recycled;
+  record.arena_peak = report.arena_bytes_peak;
   record.digest = report.digest();
   return record;
 }
@@ -162,9 +167,14 @@ namespace {
 
 constexpr const char* kRunsCsvHeader =
     "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
-    "delivered,bytes,value,evaluations,eval_hits,signatures,sig_hits,digest";
+    "delivered,bytes,value,evaluations,eval_hits,signatures,sig_hits,"
+    "recycled,arena_peak,digest";
 
-/// Pre-cache-counter header, still accepted on import (see from_runs_csv).
+// Earlier headers, still accepted on import (see from_runs_csv): the
+// pre-run-engine 16-column format and the pre-cache-counter 12-column one.
+constexpr const char* kCacheCounterRunsCsvHeader =
+    "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
+    "delivered,bytes,value,evaluations,eval_hits,signatures,sig_hits,digest";
 constexpr const char* kLegacyRunsCsvHeader =
     "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
     "delivered,bytes,value,digest";
@@ -270,6 +280,8 @@ std::string BatchReport::runs_csv() const {
     out += ',' + std::to_string(r.eval_hits);
     out += ',' + std::to_string(r.signatures);
     out += ',' + std::to_string(r.sig_hits);
+    out += ',' + std::to_string(r.recycled);
+    out += ',' + std::to_string(r.arena_peak);
     out += ',' + csv_field(r.digest);
     out += '\n';
   }
@@ -279,14 +291,17 @@ std::string BatchReport::runs_csv() const {
 BatchReport BatchReport::from_runs_csv(const std::string& csv) {
   std::vector<RunRecord> runs;
   bool header = true;
-  // 16 = current format; 12 = the pre-cache-counter format, still accepted
-  // so persisted sweep outputs keep loading (counters read 0). Rows must
-  // match the arity their header announced — a mixed file is corrupt.
+  // 18 = current format; 16 = pre-run-engine; 12 = pre-cache-counter. Old
+  // formats stay accepted so persisted sweep outputs keep loading (absent
+  // counters read 0). Rows must match the arity their header announced — a
+  // mixed file is corrupt.
   std::size_t expected_fields = 0;
   for (const std::string& line : split_csv_records(csv)) {
     if (line.empty()) continue;
     if (header) {
       if (line == kRunsCsvHeader) {
+        expected_fields = 18;
+      } else if (line == kCacheCounterRunsCsvHeader) {
         expected_fields = 16;
       } else if (line == kLegacyRunsCsvHeader) {
         expected_fields = 12;
@@ -312,11 +327,15 @@ BatchReport BatchReport::from_runs_csv(const std::string& csv) {
     r.delivered = std::stoull(fields[8]);
     r.bytes = std::stoull(fields[9]);
     r.value = std::stoull(fields[10]);
-    if (fields.size() == 16) {
+    if (fields.size() >= 16) {
       r.evaluations = std::stoull(fields[11]);
       r.eval_hits = std::stoull(fields[12]);
       r.signatures = std::stoull(fields[13]);
       r.sig_hits = std::stoull(fields[14]);
+    }
+    if (fields.size() == 18) {
+      r.recycled = std::stoull(fields[15]);
+      r.arena_peak = std::stoull(fields[16]);
     }
     r.digest = fields.back();
     runs.push_back(std::move(r));
@@ -407,6 +426,8 @@ std::string BatchReport::to_json() const {
     out += ",\"eval_hits\":" + std::to_string(r.eval_hits);
     out += ",\"signatures\":" + std::to_string(r.signatures);
     out += ",\"sig_hits\":" + std::to_string(r.sig_hits);
+    out += ",\"recycled\":" + std::to_string(r.recycled);
+    out += ",\"arena_peak\":" + std::to_string(r.arena_peak);
     out += ",\"digest\":\"" + json_escape(r.digest) + "\"}";
   }
   out += "]}";
@@ -597,6 +618,10 @@ BatchReport BatchReport::from_json(const std::string& json) {
           r.signatures = cursor.unsigned_integer();
         } else if (key == "sig_hits") {
           r.sig_hits = cursor.unsigned_integer();
+        } else if (key == "recycled") {
+          r.recycled = cursor.unsigned_integer();
+        } else if (key == "arena_peak") {
+          r.arena_peak = cursor.unsigned_integer();
         } else if (key == "digest") {
           r.digest = cursor.string();
         } else {
@@ -659,11 +684,14 @@ BatchReport BatchRunner::run(const Sweep& sweep) const {
 namespace {
 
 /// Drains indices [0, count) through a work-stealing std::thread pool.
-/// Results land in caller-owned slots indexed by i, so the output order is
-/// independent of thread placement. The first exception wins and is
-/// rethrown after the pool drains.
-void pool_execute(std::size_t count, std::size_t requested_threads,
-                  const std::function<void(std::size_t)>& work) {
+/// Every worker owns one recyclable RunContext (when `pooled`) handed to
+/// each unit of work it claims — the run-engine steady state. Results land
+/// in caller-owned slots indexed by i, so the output order is independent
+/// of thread placement. The first exception wins and is rethrown after the
+/// pool drains.
+void pool_execute(
+    std::size_t count, std::size_t requested_threads, bool pooled,
+    const std::function<void(std::size_t, RunContext*)>& work) {
   std::size_t threads =
       requested_threads != 0
           ? requested_threads
@@ -675,11 +703,13 @@ void pool_execute(std::size_t count, std::size_t requested_threads,
   std::mutex failure_mutex;
 
   auto worker = [&] {
+    std::optional<RunContext> context;
+    if (pooled) context.emplace();
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= count) return;
       try {
-        work(i);
+        work(i, context ? &*context : nullptr);
       } catch (...) {
         std::lock_guard<std::mutex> lock(failure_mutex);
         if (!failure) failure = std::current_exception();
@@ -699,17 +729,26 @@ void pool_execute(std::size_t count, std::size_t requested_threads,
   if (failure) std::rethrow_exception(failure);
 }
 
+/// One point through the worker's context (or fresh when pooling is off —
+/// runner-level or scenario-level).
+RunReport execute_point(const SweepPoint& point, RunContext* context) {
+  if (context == nullptr) return run_scenario(point.config);
+  return context->run(point.config);  // honors config.context_pooling
+}
+
 }  // namespace
 
 BatchReport BatchRunner::run(std::vector<SweepPoint> points) const {
   std::vector<RunRecord> records(points.size());
-  pool_execute(points.size(), options_.threads, [&](std::size_t i) {
-    records[i] = summarize(points[i].scenario, points[i].seed,
-                           run_scenario(points[i].config));
-  });
+  pool_execute(points.size(), options_.threads, options_.context_pooling,
+               [&](std::size_t i, RunContext* context) {
+                 records[i] = summarize(points[i].scenario, points[i].seed,
+                                        execute_point(points[i], context));
+               });
 
   if (options_.verify_determinism) {
     for (std::size_t i = 0; i < points.size(); ++i) {
+      // Always a fresh context: this is the recycled-vs-fresh tripwire.
       const RunRecord serial = summarize(points[i].scenario, points[i].seed,
                                          run_scenario(points[i].config));
       if (serial.digest != records[i].digest) {
@@ -729,9 +768,10 @@ BatchReport BatchRunner::run(std::vector<SweepPoint> points) const {
 std::vector<RunReport> BatchRunner::run_reports(
     std::vector<SweepPoint> points) const {
   std::vector<RunReport> reports(points.size());
-  pool_execute(points.size(), options_.threads, [&](std::size_t i) {
-    reports[i] = run_scenario(points[i].config);
-  });
+  pool_execute(points.size(), options_.threads, options_.context_pooling,
+               [&](std::size_t i, RunContext* context) {
+                 reports[i] = execute_point(points[i], context);
+               });
 
   if (options_.verify_determinism) {
     for (std::size_t i = 0; i < points.size(); ++i) {

@@ -91,10 +91,16 @@ struct RunRecord {
   std::uint64_t bytes = 0;
   std::uint64_t value = 0;  ///< common decided value; 0 when none
   // Cache effectiveness (see RunReport): where search/crypto effort went.
+  // Under a pooled BatchRunner these describe the executing context's
+  // warm caches and so depend on thread placement; the behavioral fields
+  // and the digest never do.
   std::uint64_t evaluations = 0;
   std::uint64_t eval_hits = 0;
   std::uint64_t signatures = 0;  ///< HMAC verifications computed
   std::uint64_t sig_hits = 0;    ///< served by the verification memo
+  // Run-engine counters (RunReport::contexts_recycled / arena_bytes_peak).
+  std::uint64_t recycled = 0;    ///< prior runs served by the context
+  std::uint64_t arena_peak = 0;  ///< arena bytes high-water
   std::string digest;            ///< RunReport::digest()
 
   friend bool operator==(const RunRecord&, const RunRecord&) = default;
@@ -172,9 +178,16 @@ class BatchRunner {
  public:
   struct Options {
     std::size_t threads = 0;  ///< 0 = hardware concurrency
-    /// Re-run every point serially and assert digest equality with the
-    /// pooled run (the simulator's bit-replay guarantee). Doubles the work.
+    /// Re-run every point serially on a *fresh* context and assert digest
+    /// equality with the pooled run — both the simulator's bit-replay
+    /// guarantee and the run engine's recycling tripwire. Doubles the work.
     bool verify_determinism = false;
+    /// Give each worker a recyclable cup::RunContext (pooled simulator,
+    /// arena, cross-run caches) instead of a fresh simulator per run.
+    /// Scenarios built with context_pooling(false) opt out per point.
+    /// Behavior and digests are identical either way; only the
+    /// cache-effectiveness counters differ.
+    bool context_pooling = true;
   };
 
   BatchRunner() = default;

@@ -9,8 +9,11 @@ namespace bftcup::cup {
 CupNodeBase::CupNodeBase(ProcessId id, Params params)
     : sim::Process(id),
       params_(std::move(params)),
-      discovery_(id, params_.pd, params_.discovery_period),
-      exchange_(id) {
+      discovery_(id, params_.pd, params_.discovery_period, params_.arena),
+      exchange_(id),
+      pending_pbft_(params_.arena != nullptr
+                        ? params_.arena
+                        : std::pmr::get_default_resource()) {
   assert(params_.search != nullptr);
 }
 

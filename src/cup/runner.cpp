@@ -64,8 +64,29 @@ std::string RunReport::digest() const {
   return to_hex(crypto::digest_bytes(crypto::sha256(bytes)));
 }
 
-RunReport run_scenario(const Scenario& scenario) {
-  sim::Simulator simulator(scenario.sim);
+namespace detail {
+
+sim::Simulator::Options sim_options_for(const Scenario& scenario) {
+  sim::Simulator::Options options = scenario.sim;
+  if (options.expected_processes == 0) {
+    options.expected_processes = scenario.graph.vertex_count();
+  }
+  if (options.expected_events == 0) {
+    // Rule of thumb from the simcore benches: a discovery-to-decision run
+    // delivers a few dozen messages per process. A wrong hint only costs
+    // memory.
+    options.expected_events = 64 * options.expected_processes;
+  }
+  return options;
+}
+
+RunReport execute_scenario(
+    const Scenario& scenario, sim::Simulator& simulator,
+    const std::shared_ptr<protocol::SharedEvalCache>& eval_cache) {
+  // Cross-run caches are cumulative; report deltas against entry.
+  const protocol::SharedEvalCache::Stats eval_stats0 = eval_cache->stats();
+  const crypto::VerifyCache::Stats verify_stats0 = simulator.verify_stats();
+
   if (scenario.make_policy) {
     simulator.set_delay_policy(scenario.make_policy());
   }
@@ -79,10 +100,6 @@ RunReport run_scenario(const Scenario& scenario) {
     options.incremental = scenario.incremental_search;
     search = std::make_shared<protocol::ExhaustiveSinkSearch>(options);
   }
-  // Always created so evaluation counts reach the report; the memo itself
-  // honors the knob.
-  auto eval_cache =
-      std::make_shared<protocol::SharedEvalCache>(scenario.eval_cache);
 
   const IdSet vertices = scenario.graph.vertices();
   const IdSet correct = vertices.set_difference(scenario.faulty);
@@ -138,6 +155,7 @@ RunReport run_scenario(const Scenario& scenario) {
     params.pbft_base_timeout = scenario.pbft_base_timeout;
     params.search = search;
     params.eval_cache = eval_cache;
+    params.arena = scenario.arena ? simulator.run_resource() : nullptr;
 
     switch (scenario.mode) {
       case Mode::kAuth:
@@ -174,14 +192,23 @@ RunReport run_scenario(const Scenario& scenario) {
   report.messages_dropped = trace.messages_dropped();
   report.bytes_sent = trace.bytes_sent();
   report.sent_by_type = trace.sent_by_type();
-  report.decisions = trace.decisions();
-  report.memberships = trace.memberships();
-  report.membership_times = trace.membership_times();
-  report.evaluations = eval_cache->stats().evaluations;
-  report.eval_cache_hits = eval_cache->stats().hits;
+  // The trace's flat maps are sorted by id, so these rebuilds preserve the
+  // iteration (and digest serialization) order std::map gave.
+  report.decisions.insert(trace.decisions().begin(), trace.decisions().end());
+  report.memberships.insert(trace.memberships().begin(),
+                            trace.memberships().end());
+  report.membership_times.insert(trace.membership_times().begin(),
+                                 trace.membership_times().end());
+  const std::uint64_t evals =
+      eval_cache->stats().evaluations - eval_stats0.evaluations;
+  const std::uint64_t eval_hits = eval_cache->stats().hits - eval_stats0.hits;
+  report.evaluations = evals;
+  report.eval_cache_hits = eval_hits;
   const auto& verify_stats = simulator.verify_stats();
-  report.signatures_verified = verify_stats.lookups - verify_stats.hits;
-  report.signatures_cached = verify_stats.hits;
+  const std::uint64_t lookups = verify_stats.lookups - verify_stats0.lookups;
+  const std::uint64_t sig_hits = verify_stats.hits - verify_stats0.hits;
+  report.signatures_verified = lookups - sig_hits;
+  report.signatures_cached = sig_hits;
 
   // Validity: every decided value was somebody's proposal.
   for (const auto& [who, decision] : report.decisions) {
@@ -194,6 +221,25 @@ RunReport run_scenario(const Scenario& scenario) {
     }
     if (!proposed) report.validity = false;
   }
+  return report;
+}
+
+}  // namespace detail
+
+RunReport run_scenario(const Scenario& scenario) {
+  sim::Simulator::Options options = detail::sim_options_for(scenario);
+  // A one-shot run still routes its hot allocations through a local arena
+  // when the knob is on: same code path the pooled engine uses, exercised
+  // by the entire test corpus.
+  sim::RunArena arena;
+  if (scenario.arena) options.arena = &arena;
+  sim::Simulator simulator(options);
+  // Always created so evaluation counts reach the report; the memo itself
+  // honors the knob.
+  auto eval_cache =
+      std::make_shared<protocol::SharedEvalCache>(scenario.eval_cache);
+  RunReport report = detail::execute_scenario(scenario, simulator, eval_cache);
+  report.arena_bytes_peak = scenario.arena ? arena.bytes_high_water() : 0;
   return report;
 }
 

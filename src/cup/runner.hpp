@@ -58,12 +58,23 @@ struct Scenario {
   // All results are pure functions of their inputs, so every knob leaves
   // run digests bit-identical; they exist for A/B benchmarks and the
   // cache-invariance test suite. Signature memoization is `sim.verify_cache`.
-  /// Share one evaluation memo (view digest -> sink/core result) across all
+  /// Share one evaluation memo (canonical view -> sink/core result) across all
   /// correct nodes of the run.
   bool eval_cache = true;
   /// Dirty-SCC candidate reuse in the *default* search strategy. Ignored
   /// when `search` is set — the provided strategy's own options govern.
   bool incremental_search = true;
+
+  // --- run-engine knobs (README "Run engine"). Like the cache knobs, both
+  // leave run digests bit-identical — the recycling property suite and
+  // BatchRunner's verify_determinism assert it.
+  /// Allow BatchRunner / RunContext to execute this scenario on a recycled
+  /// context (pooled simulator + cross-run caches). Off forces a fresh
+  /// simulator per run — the A/B baseline bench_runengine measures against.
+  bool context_pooling = true;
+  /// Back the run's hot allocations (trace records, node scratch, pending
+  /// buffers) with the context's bump arena. Off uses the plain heap.
+  bool arena = true;
 };
 
 struct RunReport {
@@ -88,6 +99,11 @@ struct RunReport {
   std::uint64_t eval_cache_hits = 0;   ///< served by the shared eval memo
   std::uint64_t signatures_verified = 0;  ///< HMAC verifications computed
   std::uint64_t signatures_cached = 0;    ///< served by the verification memo
+  // Run-engine counters (digest-excluded like the cache counters; they
+  // describe the *executing context*, not the run's behavior, and so vary
+  // with pooling and thread placement).
+  std::uint64_t contexts_recycled = 0;  ///< prior runs this context served
+  std::uint64_t arena_bytes_peak = 0;   ///< RunArena high-water, 0 w/o arena
   std::map<ProcessId, sim::Decision> decisions;
   std::map<ProcessId, IdSet> memberships;
   std::map<ProcessId, SimTime> membership_times;
@@ -108,5 +124,23 @@ struct RunReport {
 
 /// Default proposal for a process (kept stable across experiments).
 [[nodiscard]] Value default_proposal(ProcessId id);
+
+namespace detail {
+
+/// Simulator options for `scenario`: the scenario's sim block plus pre-size
+/// hints derived from the graph when the caller left them unset.
+[[nodiscard]] sim::Simulator::Options sim_options_for(const Scenario& scenario);
+
+/// The run body shared by run_scenario (fresh simulator per call) and
+/// RunContext (recycled simulator). `simulator` must be freshly
+/// constructed or reset for the scenario's sim options; `eval_cache`'s
+/// memo flag must match scenario.eval_cache. Counters in the report are
+/// deltas against the entry-time stats, so cumulative cross-run caches
+/// report per-run figures.
+[[nodiscard]] RunReport execute_scenario(
+    const Scenario& scenario, sim::Simulator& simulator,
+    const std::shared_ptr<protocol::SharedEvalCache>& eval_cache);
+
+}  // namespace detail
 
 }  // namespace bftcup::cup

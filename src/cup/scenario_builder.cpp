@@ -187,6 +187,16 @@ ScenarioBuilder& ScenarioBuilder::caching(bool enabled) {
   return eval_cache(enabled).incremental_search(enabled).verify_cache(enabled);
 }
 
+ScenarioBuilder& ScenarioBuilder::context_pooling(bool enabled) {
+  scenario_.context_pooling = enabled;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::arena(bool enabled) {
+  scenario_.arena = enabled;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::allow_premise_violation(bool allowed) {
   allow_premise_violation_ = allowed;
   return *this;

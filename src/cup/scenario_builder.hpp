@@ -99,7 +99,7 @@ class ScenarioBuilder {
   // them cannot change a run's digest (the determinism suite asserts this);
   // they exist for A/B benchmarks and ablations. Defaults: all enabled.
 
-  /// Per-simulation shared evaluation memo (view digest -> sink/core result).
+  /// Per-simulation shared evaluation memo (canonical view -> sink/core result).
   ScenarioBuilder& eval_cache(bool enabled = true);
   /// Dirty-SCC candidate reuse inside the default search strategy. Ignored
   /// when a custom search() is installed (its own SearchOptions govern).
@@ -109,6 +109,16 @@ class ScenarioBuilder {
   /// Master switch: sets all three knobs at once (`caching(false)` runs the
   /// fully cold engine — the pre-caching code path).
   ScenarioBuilder& caching(bool enabled);
+
+  // --- run-engine knobs (README "Run engine"). Digest-neutral like the
+  // cache knobs; they are mirrored into RunReport's contexts_recycled /
+  // arena_bytes_peak counters. Defaults: both enabled.
+
+  /// Allow BatchRunner / RunContext to execute this scenario on a recycled
+  /// pooled context. Off forces a fresh simulator per run.
+  ScenarioBuilder& context_pooling(bool enabled = true);
+  /// Back the run's hot allocations with the context's bump arena.
+  ScenarioBuilder& arena(bool enabled = true);
 
   /// Witness scenarios (fig. 1a, Theorem 7) intentionally violate the
   /// protocol premise |faulty| <= f; they must say so explicitly.

@@ -7,6 +7,7 @@
 #include "common/hex.hpp"
 #include "crypto/sha256.hpp"
 #include "cup/batch_runner.hpp"
+#include "cup/run_context.hpp"
 #include "graph/figures.hpp"
 
 namespace bftcup::explore {
@@ -168,7 +169,9 @@ ExploreResult Explorer::explore(const std::vector<Genome>& seeds) const {
   }
 
   // Minimize, then stamp each finding with its replay verdict/digest and
-  // its content-addressed name. Serial and deterministic.
+  // its content-addressed name. Serial and deterministic; replays go
+  // through a recycled context (warm caches over near-identical genomes).
+  cup::RunContext replay_context;
   const Shrinker shrinker(options_.shrinker, options_.oracle);
   for (Finding& finding : result.findings) {
     if (options_.shrink) {
@@ -180,7 +183,7 @@ ExploreResult Explorer::explore(const std::vector<Genome>& seeds) const {
       result.runs += outcome.runs;
     }
     const cup::RunReport report =
-        cup::run_scenario(finding.genome.to_builder().build());
+        replay_context.run(finding.genome.to_builder().build());
     ++result.runs;
     finding.verdict = report.verdict();
     finding.digest = report.digest();

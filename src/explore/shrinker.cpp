@@ -51,7 +51,7 @@ std::vector<Genome> Shrinker::reductions(const Genome& genome) {
 bool Shrinker::reproduces(const Genome& genome,
                           const Classification& target) const {
   if (!genome.valid()) return false;
-  const cup::RunReport report = cup::run_scenario(genome.to_builder().build());
+  const cup::RunReport report = context_.run(genome.to_builder().build());
   const auto classification = classify(genome, report, oracle_);
   return classification.has_value() && *classification == target;
 }

@@ -12,10 +12,14 @@
 // which violates agreement for the trivial reason that the requirements no
 // longer hold). It terminates at a fixpoint: a genome none of whose
 // single-step reductions preserves the finding (1-minimality, the classic
-// ddmin guarantee). Every replay is a deterministic run_scenario call, so
-// shrinking is reproducible and single-threaded by design.
+// ddmin guarantee). Every replay runs through the shrinker's recycled
+// cup::RunContext — ddmin probes hundreds of near-identical genomes, the
+// run engine's best case — and stays deterministic and observationally
+// identical to a fresh run_scenario call; shrinking is single-threaded by
+// design.
 #pragma once
 
+#include "cup/run_context.hpp"
 #include "explore/genome.hpp"
 #include "explore/oracle.hpp"
 
@@ -55,6 +59,10 @@ class Shrinker {
  private:
   ShrinkOptions options_;
   OracleOptions oracle_;
+  /// Replay engine, recycled across the ddmin probes. Mutable: warming the
+  /// pool is not an observable state change (replay results are identical
+  /// to fresh runs). Makes the shrinker non-copyable, like the context.
+  mutable cup::RunContext context_;
 };
 
 }  // namespace bftcup::explore

@@ -30,7 +30,7 @@ class SharedEvalCache;  // protocol/eval_cache.hpp
 [[nodiscard]] std::optional<CoreResult> try_find_core(const KnowledgeView& view,
                                                       const SinkSearch& search);
 
-/// Memoized variant keyed by (strategy, view-content digest) in the
+/// Memoized variant keyed by (strategy, canonical view bytes) in the
 /// per-simulation evaluation cache; see try_find_sink's cached overload.
 [[nodiscard]] std::optional<CoreResult> try_find_core(const KnowledgeView& view,
                                                       const SinkSearch& search,

@@ -1,51 +1,89 @@
 #include "protocol/eval_cache.hpp"
 
+#include <bit>
+
 namespace bftcup::protocol {
 namespace {
 
-void hash_id_set(crypto::Sha256& hasher, const IdSet& ids) {
-  crypto::sha256_update_u64(hasher, ids.size());
-  for (ProcessId id : ids) crypto::sha256_update_u64(hasher, id.raw());
+void append_u64(Bytes& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void append_id_set(Bytes& out, const IdSet& ids) {
+  append_u64(out, ids.size());
+  for (ProcessId id : ids) append_u64(out, id.raw());
+}
+
+EvalKey own_key(const EvalKeyView& view) {
+  EvalKey key;
+  key.strategy = view.strategy;
+  key.param = view.param;
+  key.view.assign(view.view.begin(), view.view.end());
+  return key;
 }
 
 }  // namespace
 
-const crypto::Digest& view_digest(const KnowledgeView& view) {
+const Bytes& view_canonical(const KnowledgeView& view) {
   EvalScratch& scratch = view.eval_scratch();
-  if (scratch.digest_revision != view.revision()) {
-    crypto::Sha256 hasher;
-    static constexpr std::uint8_t kDomain[] = {'v', 'i', 'e', 'w'};
-    hasher.update(BytesView(kDomain, sizeof(kDomain)));
-    hash_id_set(hasher, view.known());
-    crypto::sha256_update_u64(hasher, view.pds().size());
+  if (scratch.canon_revision != view.revision()) {
+    Bytes& out = scratch.canon;
+    out.clear();
+    // Length-framed, sorted-order serialization: injective on view
+    // contents, so byte equality is view equality.
+    append_id_set(out, view.known());
+    append_u64(out, view.pds().size());
     for (const auto& [owner, pd] : view.pds()) {
-      crypto::sha256_update_u64(hasher, owner.raw());
-      hash_id_set(hasher, pd);
+      append_u64(out, owner.raw());
+      append_id_set(out, pd);
     }
-    scratch.digest = hasher.finalize();
-    scratch.digest_revision = view.revision();
+    scratch.canon_revision = view.revision();
   }
-  return scratch.digest;
+  return scratch.canon;
+}
+
+SharedEvalCache::ProbeDecision SharedEvalCache::admit(std::size_t view_size) {
+  Bucket& bucket = buckets_[std::bit_width(view_size)];
+  ++bucket.evals;
+  // Scratch memos only run where recurrence is *proven* (a digest hit in
+  // this bucket); warmup and retry probes are digest-only, so a purely
+  // churning workload pays nothing beyond a handful of view hashes.
+  if (bucket.hits > 0) return {true, true};
+  if (bucket.probes < kProbeWarmup) return {true, false};
+  // Closed bucket: a periodic digest-only retry keeps a late-converging or
+  // cross-run recurring view family from being locked out forever.
+  if (bucket.evals % kProbeRetry == 0) return {true, false};
+  return {false, false};
+}
+
+void SharedEvalCache::record_probe(std::size_t view_size, bool hit) {
+  Bucket& bucket = buckets_[std::bit_width(view_size)];
+  ++bucket.probes;
+  if (hit) ++bucket.hits;
 }
 
 const std::optional<SinkResult>* SharedEvalCache::find_sink(
-    const EvalKey& key) const {
+    const EvalKeyView& key) const {
   const auto it = sink_.find(key);
   return it == sink_.end() ? nullptr : &it->second;
 }
 
-void SharedEvalCache::store_sink(EvalKey key, std::optional<SinkResult> result) {
-  sink_.emplace(std::move(key), std::move(result));
+void SharedEvalCache::store_sink(const EvalKeyView& key,
+                                 std::optional<SinkResult> result) {
+  sink_.emplace(own_key(key), std::move(result));
 }
 
 const std::optional<CoreResult>* SharedEvalCache::find_core(
-    const EvalKey& key) const {
+    const EvalKeyView& key) const {
   const auto it = core_.find(key);
   return it == core_.end() ? nullptr : &it->second;
 }
 
-void SharedEvalCache::store_core(EvalKey key, std::optional<CoreResult> result) {
-  core_.emplace(std::move(key), std::move(result));
+void SharedEvalCache::store_core(const EvalKeyView& key,
+                                 std::optional<CoreResult> result) {
+  core_.emplace(own_key(key), std::move(result));
 }
 
 }  // namespace bftcup::protocol

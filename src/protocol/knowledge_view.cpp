@@ -78,7 +78,11 @@ const KnowledgeView::SccSnapshot& KnowledgeView::received_scc_snapshot() const {
 }
 
 EvalScratch& KnowledgeView::eval_scratch() const {
-  if (!scratch_) scratch_ = std::make_unique<EvalScratch>();
+  if (!scratch_) {
+    scratch_ = scratch_mr_ != nullptr
+                   ? std::make_unique<EvalScratch>(scratch_mr_)
+                   : std::make_unique<EvalScratch>();
+  }
   return *scratch_;
 }
 

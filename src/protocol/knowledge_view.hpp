@@ -20,6 +20,7 @@
 
 #include <map>
 #include <memory>
+#include <memory_resource>
 #include <optional>
 
 #include "common/types.hpp"
@@ -87,6 +88,15 @@ class KnowledgeView {
   /// scratch can never change an observable result.
   [[nodiscard]] EvalScratch& eval_scratch() const;
 
+  /// Routes the memo pads' node allocations through `mr` (the run engine's
+  /// per-run arena). Must be called before the first eval_scratch() use;
+  /// the view (and with it the scratch) must be destroyed before the
+  /// resource is rewound. Copies deliberately do not inherit the resource —
+  /// a copy's lifetime is not tied to the run that owns the arena.
+  void use_scratch_resource(std::pmr::memory_resource* mr) {
+    scratch_mr_ = mr;
+  }
+
   /// Number of processes in S1 with an out-edge (per received PDs) into
   /// `targets` — the paper's  S1 --k--> targets  count.
   [[nodiscard]] std::size_t out_reach_count(const IdSet& s1,
@@ -112,6 +122,7 @@ class KnowledgeView {
   mutable std::uint64_t snapshot_revision_ = kNoRevision;
   mutable SccSnapshot snapshot_;
   mutable std::unique_ptr<EvalScratch> scratch_;
+  std::pmr::memory_resource* scratch_mr_ = nullptr;  ///< null = default heap
 };
 
 }  // namespace bftcup::protocol

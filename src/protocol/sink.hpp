@@ -25,7 +25,7 @@ class SharedEvalCache;  // protocol/eval_cache.hpp
                                                       const SinkSearch& search);
 
 /// Memoized variant: consults the per-simulation evaluation cache keyed by
-/// (strategy, f, view-content digest) before running the search, so nodes
+/// (strategy, f, canonical view bytes) before running the search, so nodes
 /// whose knowledge states converged pay for the candidate search once. The
 /// result is a pure function of the key, hence identical with the cache on
 /// or off. `cache == nullptr` degrades to the plain overload.

@@ -27,15 +27,21 @@ void collect_candidates_for(const KnowledgeView& view, EvalScratch* scratch,
 }
 
 /// Candidates the exhaustive strategy derives from one SCC: every non-empty
-/// subset, masks ascending.
+/// subset, masks ascending. One scratch S1 is reused across all 2^n - 1
+/// masks (cleared, refilled in ascending id order) so the inner loop's only
+/// allocation is its first capacity growth — the FlatSet-scratch half of
+/// the run engine's near-zero-heap steady state. collect_candidates_for
+/// copies S1 into whatever it emits, so reuse cannot leak.
 void enumerate_exhaustive(const KnowledgeView& view, EvalScratch* scratch,
                           const IdSet& scc, std::vector<SinkCandidate>& out) {
   const auto& ids = scc.values();
   const std::size_t n = ids.size();
+  IdSet s1;
+  s1.reserve(n);
   for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
-    IdSet s1;
-    s1.reserve(static_cast<std::size_t>(std::popcount(mask)));
+    s1.clear();
     for (std::size_t b = 0; b < n; ++b) {
+      // ids is sorted, so these inserts are ordered appends.
       if (mask & (std::uint64_t{1} << b)) s1.insert(ids[b]);
     }
     collect_candidates_for(view, scratch, s1, out);
@@ -83,13 +89,37 @@ void enumerate_structured(const KnowledgeView& view, EvalScratch* scratch,
 /// split memo absorbing subsets already costed in an earlier revision.
 /// Output order is identical to a cold run: current SCC order, and within
 /// an SCC the enumeration order `enumerate` defines.
+/// SCCs of the knowledge graph restricted to processes with received PDs —
+/// any strongly connected S1 (P2 needs κ >= 1) is a subset of one of these.
+/// Shared by the cold path and churn-suspended incremental evaluations;
+/// the snapshot the warm incremental path reads is built from the
+/// identical construction, so enumeration order matches bit-for-bit.
+std::vector<IdSet> received_sccs(const KnowledgeView& view) {
+  const graph::Digraph k = view.knowledge_graph().induced(view.received());
+  return graph::strongly_connected_components(k).members;
+}
+
 template <typename Enumerate>
 std::vector<SinkCandidate> incremental_candidates(const KnowledgeView& view,
                                                   const std::string& cache_key,
                                                   Enumerate&& enumerate) {
   std::vector<SinkCandidate> out;
-  const auto& snapshot = view.received_scc_snapshot();
   EvalScratch& scratch = view.eval_scratch();
+
+  // Churn-phase evaluation (see EvalScratch::memo_suspended): enumerate at
+  // cold speed — no candidate cache, no prune, no split memo, and no
+  // persistent per-view snapshot (a churning view's snapshot is rebuilt
+  // every revision anyway, and keeping one graph resident per node evicts
+  // the max-flow scratch from cache). Identical output, none of the
+  // bookkeeping that cannot amortize.
+  if (scratch.memo_suspended) {
+    for (const IdSet& scc : received_sccs(view)) {
+      enumerate(view, nullptr, scc, out);
+    }
+    return out;
+  }
+
+  const auto& snapshot = view.received_scc_snapshot();
   EvalScratch::StrategyCache& cache = scratch.strategies[cache_key];
 
   // Drop entries for SCCs that no longer exist (they merged into a bigger
@@ -110,27 +140,30 @@ std::vector<SinkCandidate> incremental_candidates(const KnowledgeView& view,
   }
 
   for (const IdSet& scc : snapshot.sccs.members) {
-    if (const auto it = cache.by_scc.find(scc); it != cache.by_scc.end()) {
+    const auto it = cache.by_scc.find(scc);
+    if (it != cache.by_scc.end() && it->second.filled) {
       ++scratch.stats.scc_hits;
-      out.insert(out.end(), it->second.begin(), it->second.end());
+      out.insert(out.end(), it->second.candidates.begin(),
+                 it->second.candidates.end());
       continue;
     }
     ++scratch.stats.scc_misses;
+    // Two-touch admission (see EvalScratch::CachedCandidates): record the
+    // key on first sight, store the candidate vector only once the same
+    // member set survives to a second enumeration. Discovery-churn SCCs
+    // are pruned before their second touch and never pay the copy.
+    if (it == cache.by_scc.end()) {
+      enumerate(view, &scratch, scc, out);  // straight into the output
+      cache.by_scc.emplace(scc, EvalScratch::CachedCandidates{});
+      continue;
+    }
     std::vector<SinkCandidate> fresh;
     enumerate(view, &scratch, scc, fresh);
     out.insert(out.end(), fresh.begin(), fresh.end());
-    cache.by_scc.emplace(scc, std::move(fresh));
+    it->second.filled = true;
+    it->second.candidates = std::move(fresh);
   }
   return out;
-}
-
-/// SCCs of the knowledge graph restricted to processes with received PDs —
-/// any strongly connected S1 (P2 needs κ >= 1) is a subset of one of these.
-/// Cold path only; the incremental path reads the view's cached snapshot,
-/// which is built from the identical construction.
-std::vector<IdSet> received_sccs(const KnowledgeView& view) {
-  const graph::Digraph k = view.knowledge_graph().induced(view.received());
-  return graph::strongly_connected_components(k).members;
 }
 
 bool skip_oversized(const IdSet& scc, std::size_t cap) {

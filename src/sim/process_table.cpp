@@ -14,6 +14,17 @@ void ProcessTable::add(std::unique_ptr<Process> process, crypto::Signer signer,
   slots_.push_back(Slot{std::move(process), signer, std::move(rng)});
 }
 
+void ProcessTable::clear() {
+  slots_.clear();
+  index_.clear();  // keeps the bucket array
+  finalized_ = false;
+}
+
+void ProcessTable::reserve(std::size_t n) {
+  slots_.reserve(n);
+  index_.reserve(n);
+}
+
 void ProcessTable::finalize() {
   if (finalized_) return;
   finalized_ = true;

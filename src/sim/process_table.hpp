@@ -45,6 +45,13 @@ class ProcessTable {
   /// caller's bug.
   void add(std::unique_ptr<Process> process, crypto::Signer signer, Rng rng);
 
+  /// Destroys every process and empties the table, keeping the slot
+  /// vector's and the index's capacity — the recycled-run path.
+  void clear();
+
+  /// Pre-sizes for `n` processes (scenario hint).
+  void reserve(std::size_t n);
+
   /// Sorts slots by id and rebuilds the dense index. Called once when the
   /// run starts; idempotent.
   void finalize();

@@ -1,0 +1,84 @@
+#include "sim/run_arena.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+namespace bftcup::sim {
+namespace {
+
+/// Blocks stop doubling here: a pathological run can still allocate more
+/// blocks, but each stays reusable-sized so the pool's steady-state
+/// footprint tracks the biggest *typical* run, not the biggest outlier.
+constexpr std::size_t kMaxBlockSize = 4 * 1024 * 1024;
+
+std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+RunArena::RunArena(std::size_t first_block)
+    : next_block_size_(first_block == 0 ? 1024 : first_block) {}
+
+void* RunArena::do_allocate(std::size_t bytes, std::size_t align) {
+  assert((align & (align - 1)) == 0 && "alignment must be a power of two");
+  for (; current_ < blocks_.size(); ++current_) {
+    // Cursor never moves back inside a run; a partially filled block is
+    // revisited only after the next rewind().
+    if (void* p = bump(blocks_[current_], bytes, align)) return p;
+  }
+  std::size_t size = next_block_size_;
+  // An oversized single request gets its own block (plus alignment slack).
+  if (size < bytes + align) size = bytes + align;
+  next_block_size_ = std::min(kMaxBlockSize, next_block_size_ * 2);
+  Block block;
+  block.data = std::make_unique<std::byte[]>(size);
+  block.size = size;
+  reserved_ += size;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  void* p = bump(blocks_.back(), bytes, align);
+  assert(p != nullptr && "a fresh block always fits its sizing request");
+  return p;
+}
+
+void* RunArena::bump(Block& block, std::size_t bytes, std::size_t align) {
+  // Align the absolute address, not the offset: block bases only guarantee
+  // operator new[] alignment, which over-aligned types may exceed.
+  const auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+  const std::size_t offset = align_up(base + block.used, align) - base;
+  if (offset + bytes > block.size) return nullptr;
+  block.used = offset + bytes;
+  in_use_ += bytes;
+  if (in_use_ > high_water_) high_water_ = in_use_;
+  return block.data.get() + offset;
+}
+
+void RunArena::do_deallocate(void* /*p*/, std::size_t /*bytes*/,
+                             std::size_t /*align*/) {
+  // Monotonic: memory is reclaimed wholesale by rewind().
+}
+
+bool RunArena::do_is_equal(
+    const std::pmr::memory_resource& other) const noexcept {
+  return this == &other;
+}
+
+void RunArena::rewind() {
+  for (Block& block : blocks_) {
+#ifndef NDEBUG
+    // Poison reclaimed memory so a container that survived reset() and
+    // dereferences stale arena storage fails loudly in debug/ASan builds.
+    std::memset(block.data.get(), 0xa5, block.used);
+#endif
+    block.used = 0;
+  }
+  current_ = 0;
+  in_use_ = 0;
+  // The high-water mark is per run (rewind to rewind), so the counter a
+  // report mirrors means the same thing on the pooled and fresh paths.
+  high_water_ = 0;
+}
+
+}  // namespace bftcup::sim

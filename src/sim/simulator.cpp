@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "crypto/keyring_cache.hpp"
 
 namespace bftcup::sim {
 
@@ -64,8 +65,61 @@ Simulator::Simulator(Options options)
       rng_(options.seed),
       registry_(options.seed ^ 0xb5f7c0deULL),
       verify_cache_(options.verify_cache),
-      verifier_(&registry_, &verify_cache_),
-      policy_(std::make_unique<RandomDelayPolicy>()) {}
+      verifier_(&registry_, &verify_cache_) {
+  configure(/*reuse=*/false);
+}
+
+void Simulator::reset(Options options) {
+  // Destroy the previous run's arena-backed state *before* rewinding: the
+  // processes (whose views hold arena-backed scratch), the queued events,
+  // and the trace. Retained-capacity containers (queue buckets, slot
+  // vector, memo buckets) never allocate from the arena, so they survive.
+  table_.clear();
+  queue_.clear();
+  trace_.reset();
+  stop_ = nullptr;
+  policy_.reset();
+  timeline_ = FaultTimeline{};
+  timeline_active_ = false;
+  // A detached arena (options.arena changed) is left untouched — its
+  // memory belongs to its owner, which may still be serving other users.
+  // Only the arena adopted for the next run is rewound, now that nothing
+  // of ours references it.
+  options_ = options;
+  if (options_.arena != nullptr) options_.arena->rewind();
+
+  rng_ = Rng(options_.seed);
+  registry_.reset(options_.seed ^ 0xb5f7c0deULL);
+  // The verification memo persists: its key binds the registry seed, the
+  // signer, the payload, and the signature, so every retained entry is
+  // still the correct answer. Only the enable knob is per-run.
+  verify_cache_.set_memo_enabled(options_.verify_cache);
+  next_seq_ = 0;
+  now_ = 0;
+  started_ = false;
+  configure(/*reuse=*/true);
+}
+
+/// Shared tail of construction and reset: applies hints, binds the
+/// keyring, installs the default delay policy, and (re)creates the trace
+/// against the current run resource.
+void Simulator::configure(bool reuse) {
+  registry_.attach_keyring(options_.keyring);
+  // The sign memo rides the same knob as the verification memo: both
+  // directions of the "signature memoization" layer, both value-neutral.
+  registry_.attach_sign_cache(options_.verify_cache ? &sign_cache_ : nullptr);
+  policy_ = std::make_unique<RandomDelayPolicy>();
+  if (options_.expected_processes != 0) {
+    table_.reserve(options_.expected_processes);
+  }
+  if (!reuse && options_.expected_events != 0) {
+    queue_.reserve(options_.expected_events);  // capacity persists afterwards
+  }
+  trace_.emplace(run_resource());
+  if (options_.expected_processes != 0) {
+    trace_->reserve(options_.expected_processes);
+  }
+}
 
 void Simulator::add_process(std::unique_ptr<Process> process) {
   assert(!started_ && "processes must be added before run()");
@@ -91,10 +145,10 @@ void Simulator::set_fault_timeline(FaultTimeline timeline) {
 }
 
 void Simulator::do_send(ProcessId from, ProcessId to, msg::MessageRef message) {
-  trace_.record_send(message.encoded_size(), message->type);
+  trace_->record_send(message.encoded_size(), message->type);
   if (timeline_active_ && timeline_.is_link_down(from, to)) {
     // Lost on the wire: sent (and counted as such), never queued.
-    trace_.record_drop();
+    trace_->record_drop();
     return;
   }
   if (!table_.contains(to)) {
@@ -126,11 +180,11 @@ void Simulator::do_set_timer(ProcessId who, SimTime delay, int kind) {
 
 void Simulator::do_decide(ProcessId who, Value value) {
   LOG_DEBUG("sim") << who << " decides " << value << " at t=" << now_;
-  trace_.record_decision(who, value, now_);
+  trace_->record_decision(who, value, now_);
 }
 
 void Simulator::do_report_membership(ProcessId who, const IdSet& members) {
-  trace_.record_membership(who, members, now_);
+  trace_->record_membership(who, members, now_);
 }
 
 void Simulator::schedule_fault_actions() {
@@ -224,10 +278,7 @@ void Simulator::run() {
   }
 
   while (!queue_.empty()) {
-    // Moving from top() is safe: the comparator reads only time/seq, which
-    // the moved-from element retains.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event ev = queue_.pop();
     assert(ev.time >= now_);
     now_ = ev.time;
     if (now_ >= options_.horizon) break;
@@ -242,17 +293,17 @@ void Simulator::run() {
     ProcessTable::Slot& slot = table_.slot(index);
     if (!slot.up()) {
       // Crashed or not yet joined: deliveries are lost, timers lapse.
-      if (ev.kind == Event::Kind::kDelivery) trace_.record_drop();
+      if (ev.kind == Event::Kind::kDelivery) trace_->record_drop();
       continue;
     }
     Context ctx(this, ev.to);
     if (ev.kind == Event::Kind::kDelivery) {
-      trace_.record_delivery();
+      trace_->record_delivery();
       slot.process->on_message(ev.from, *ev.message, ctx);
     } else {
       slot.process->on_timer(ev.timer_kind, ctx);
     }
-    if (stop_ && stop_(trace_)) break;
+    if (stop_ && stop_(*trace_)) break;
   }
 }
 

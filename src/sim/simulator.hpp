@@ -5,22 +5,39 @@
 // trace. Single-threaded; all nondeterminism flows from the seeded Rng, so a
 // (seed, topology, policy, timeline) tuple replays bit-identically.
 //
-// The event queue is the hot path of every experiment sweep: an Event is a
-// small POD-ish record whose message payload is a refcounted MessageRef, so
-// queue churn moves ~64 bytes and a refcount instead of deep-copying PD
-// vectors and quorum certs per queued delivery.
+// The event queue is the hot path of every experiment sweep: a two-level
+// bucketed queue (sim/bucket_queue.hpp) drains the exact (time, seq) total
+// order with O(1) push/pop, and an Event is a small POD-ish record whose
+// message payload is a refcounted MessageRef, so queue churn moves ~64
+// bytes and a refcount instead of deep-copying PD vectors per delivery.
+//
+// A Simulator is *recyclable*: reset() returns it to the
+// just-constructed state while keeping every capacity it grew (queue
+// buckets, process slots, verification memo buckets) and every cross-run
+// cache whose keys bind all of their inputs (the seed-bound verification
+// memo, the attached keyring). cup::RunContext drives this to run
+// batch sweeps with near-zero per-run setup cost; a reset simulator is
+// observationally identical to a fresh one (asserted by the recycling
+// property suite and BatchRunner's verify_determinism).
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <queue>
+#include <memory_resource>
+#include <optional>
 
 #include "msg/message_ref.hpp"
+#include "sim/bucket_queue.hpp"
 #include "sim/fault_timeline.hpp"
 #include "sim/network.hpp"
 #include "sim/process.hpp"
 #include "sim/process_table.hpp"
+#include "sim/run_arena.hpp"
 #include "sim/trace.hpp"
+
+namespace bftcup::crypto {
+class KeyringCache;
+}
 
 namespace bftcup::sim {
 
@@ -30,14 +47,36 @@ class Simulator {
     std::uint64_t seed = 1;
     NetConfig net;
     SimTime horizon = 1'000'000;  ///< hard stop (simulated time)
-    /// Memoize signature-verification outcomes for the whole run (see
+    /// Memoize signature-verification outcomes (see
     /// crypto/verify_cache.hpp). Verification is a pure function of
-    /// (signer, payload, signature), so replay stays bit-identical; off
-    /// still counts verifications for the run report.
+    /// (key seed, signer, payload, signature), so replay stays
+    /// bit-identical; off still counts verifications for the run report.
     bool verify_cache = true;
+
+    // --- recyclable-run plumbing (cup::RunContext) -----------------------
+    /// Pre-size hints: process count and expected event volume. Zero means
+    /// "no hint"; wrong hints cost only memory, never correctness.
+    std::size_t expected_processes = 0;
+    std::size_t expected_events = 0;
+    /// Per-run bump allocator backing the trace records and the per-node
+    /// scratch (see sim/run_arena.hpp). Owned by the caller, which must
+    /// not rewind it while this simulator still holds a run's state, and
+    /// must dedicate it to this one simulator: reset() rewinds the adopted
+    /// arena wholesale, which would invalidate any other user's storage.
+    RunArena* arena = nullptr;
+    /// Cross-run key-derivation cache (crypto/keyring_cache.hpp). Owned by
+    /// the caller; must outlive the simulator.
+    crypto::KeyringCache* keyring = nullptr;
   };
 
   explicit Simulator(Options options);
+
+  /// Returns the simulator to the just-constructed state for `options`,
+  /// retaining grown capacity and the seed-bound verification memo. The
+  /// previous run's processes, queue, trace, and timeline are destroyed
+  /// first, then the arena (if any) is rewound — so by the time this
+  /// returns, nothing references pre-reset arena memory.
+  void reset(Options options);
 
   /// Registers a process. Must be called before run().
   void add_process(std::unique_ptr<Process> process);
@@ -56,13 +95,27 @@ class Simulator {
   /// Runs to quiescence, the horizon, or the stop condition.
   void run();
 
-  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] const Trace& trace() const { return *trace_; }
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] crypto::KeyRegistry& registry() { return registry_; }
 
-  /// Signature-verification counters (total lookups, memo hits).
+  /// Signature-verification counters (total lookups, memo hits). Counters
+  /// are cumulative across a recycled simulator's runs; per-run figures are
+  /// deltas against a snapshot the runner takes before run().
   [[nodiscard]] const crypto::VerifyCache::Stats& verify_stats() const {
     return verify_cache_.stats();
+  }
+
+  /// The signature memos themselves (cap management by the owning context).
+  [[nodiscard]] crypto::VerifyCache& verify_cache() { return verify_cache_; }
+  [[nodiscard]] crypto::SignCache& sign_cache() { return sign_cache_; }
+
+  /// The memory resource for per-run scratch (the configured arena, or the
+  /// default heap resource when the run is arena-less).
+  [[nodiscard]] std::pmr::memory_resource* run_resource() const {
+    return options_.arena != nullptr
+               ? static_cast<std::pmr::memory_resource*>(options_.arena)
+               : std::pmr::get_default_resource();
   }
 
   /// Capability factory for a process (used by node builders that need the
@@ -87,12 +140,6 @@ class Simulator {
     enum class Kind : std::uint8_t { kDelivery, kTimer, kFault };
     Kind kind = Kind::kDelivery;
   };
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
   // Context entry points.
   void do_send(ProcessId from, ProcessId to, msg::MessageRef message);
@@ -103,21 +150,25 @@ class Simulator {
   void schedule_fault_actions();
   void apply_fault(const FaultAction& action);
   void start_or_resume(ProcessTable::Slot& slot);
+  void configure(bool reuse);
 
   Options options_;
   Rng rng_;
   crypto::KeyRegistry registry_;
   crypto::VerifyCache verify_cache_;
+  crypto::SignCache sign_cache_;
   crypto::Verifier verifier_;
   std::unique_ptr<DelayPolicy> policy_;
   ProcessTable table_;
   FaultTimeline timeline_;
   bool timeline_active_ = false;
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  BucketQueue<Event> queue_;
   std::uint64_t next_seq_ = 0;
   SimTime now_ = 0;
   bool started_ = false;
-  Trace trace_;
+  /// optional so reset() can re-bind the trace to a rewound arena (pmr
+  /// containers pin their resource at construction).
+  std::optional<Trace> trace_;
   std::function<bool(const Trace&)> stop_;
 };
 

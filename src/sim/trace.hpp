@@ -1,10 +1,17 @@
 // Execution trace: everything the experiment harnesses measure.
+//
+// Record storage is FlatMap (sorted vectors) rather than std::map: a run
+// writes at most one record per process, the recycled-run engine wants
+// reserve() from scenario hints instead of per-run node allocation, and a
+// RunArena can back the vectors. Iteration order (sorted by id) matches the
+// std::map the digest serialization was pinned on.
 #pragma once
 
 #include <array>
-#include <map>
+#include <memory_resource>
 #include <optional>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "msg/message.hpp"
 
@@ -19,6 +26,18 @@ class Trace {
  public:
   /// Per-message-type sent counts (the coverage signature's traffic shape).
   using MsgHistogram = std::array<std::uint64_t, msg::kMsgTypeCount>;
+  using DecisionMap = FlatMap<ProcessId, Decision>;
+  using MembershipMap = FlatMap<ProcessId, IdSet>;
+  using TimeMap = FlatMap<ProcessId, SimTime>;
+
+  Trace() = default;
+  /// Backs the record vectors with `mr` (a RunArena in pooled runs). The
+  /// trace must be destroyed before the arena rewinds.
+  explicit Trace(std::pmr::memory_resource* mr)
+      : decisions_(mr), memberships_(mr), membership_times_(mr) {}
+
+  /// Pre-sizes the per-process record maps (scenario hint: process count).
+  void reserve(std::size_t processes);
 
   void record_decision(ProcessId who, Value value, SimTime time);
   void record_send(std::size_t bytes, msg::MsgType type);
@@ -28,13 +47,11 @@ class Trace {
   void record_drop();
   void record_membership(ProcessId who, const IdSet& members, SimTime time);
 
-  [[nodiscard]] const std::map<ProcessId, Decision>& decisions() const {
-    return decisions_;
-  }
-  [[nodiscard]] const std::map<ProcessId, IdSet>& memberships() const {
+  [[nodiscard]] const DecisionMap& decisions() const { return decisions_; }
+  [[nodiscard]] const MembershipMap& memberships() const {
     return memberships_;
   }
-  [[nodiscard]] const std::map<ProcessId, SimTime>& membership_times() const {
+  [[nodiscard]] const TimeMap& membership_times() const {
     return membership_times_;
   }
 
@@ -64,9 +81,9 @@ class Trace {
   [[nodiscard]] std::optional<Value> common_value(const IdSet& who) const;
 
  private:
-  std::map<ProcessId, Decision> decisions_;
-  std::map<ProcessId, IdSet> memberships_;
-  std::map<ProcessId, SimTime> membership_times_;
+  DecisionMap decisions_;
+  MembershipMap memberships_;
+  TimeMap membership_times_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;

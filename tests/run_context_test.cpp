@@ -1,0 +1,141 @@
+// The run engine's recycling contract: a RunContext that has executed any
+// number of prior runs is observationally identical to a fresh simulator.
+//
+// This is the state-leak tripwire for the whole pooled engine — simulator
+// reset, arena rewind, keyring cache, the retained content-addressed
+// caches, and the bucketed event queue all sit under it. The property runs
+// every explored/* corpus scenario and the dyn/* fault-timeline family
+// (the paths that exercise crash/recover, partitions, late joins, fake
+// PDs, and the Byzantine behaviors) twice through ONE context, interleaved,
+// and demands byte-identical RunReport digests against fresh runs. Under
+// ASan this is also where use-after-rewind bugs surface first.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cup/run_context.hpp"
+#include "cup/scenario_builder.hpp"
+#include "cup/scenario_registry.hpp"
+
+namespace bftcup {
+namespace {
+
+using cup::RunContext;
+using cup::RunReport;
+using cup::Scenario;
+using cup::ScenarioRegistry;
+
+std::vector<std::string> recycling_corpus() {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : ScenarioRegistry::paper().entries()) {
+    (void)entry;
+    if (name.starts_with("explored/") || name.starts_with("dyn/")) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+Scenario scenario_for(const std::string& name, std::uint64_t seed) {
+  const auto* entry = ScenarioRegistry::paper().find(name);
+  EXPECT_NE(entry, nullptr) << name;
+  return entry->make(seed).seed(seed).build();
+}
+
+TEST(RunContextTest, RecycledRunsMatchFreshRunsByteForByte) {
+  const auto corpus = recycling_corpus();
+  ASSERT_GE(corpus.size(), 10u);  // explored/* (8) + dyn/* (6)
+
+  RunContext context;
+  // Two interleaved passes through one context: pass 2 replays every
+  // scenario on a context warmed by *all* of them, so cross-scenario
+  // leakage (not just same-scenario) would be caught.
+  std::vector<std::string> first_pass;
+  for (int pass = 0; pass < 2; ++pass) {
+    std::size_t index = 0;
+    for (const std::string& name : corpus) {
+      const std::uint64_t seed = 1 + (index++ % 2) * 6;  // seeds 1 and 7
+      const Scenario scenario = scenario_for(name, seed);
+      const std::string fresh = cup::run_scenario(scenario).digest();
+      const std::string recycled = context.run(scenario).digest();
+      EXPECT_EQ(recycled, fresh) << name << " seed " << seed
+                                 << " pass " << pass;
+      if (pass == 0) {
+        first_pass.push_back(recycled);
+      } else {
+        EXPECT_EQ(recycled, first_pass[index - 1]) << name << " pass replay";
+      }
+    }
+  }
+  EXPECT_EQ(context.runs_executed(), corpus.size() * 2);
+}
+
+TEST(RunContextTest, KnobsAreDigestNeutral) {
+  const Scenario base = scenario_for("dyn/crash-mid-discovery", 5);
+  const std::string reference = cup::run_scenario(base).digest();
+
+  for (const bool pooling : {false, true}) {
+    for (const bool arena : {false, true}) {
+      const auto* entry = ScenarioRegistry::paper().find("dyn/crash-mid-discovery");
+      ASSERT_NE(entry, nullptr);
+      const Scenario scenario = entry->make(5)
+                                    .seed(5)
+                                    .context_pooling(pooling)
+                                    .arena(arena)
+                                    .build();
+      RunContext context;
+      EXPECT_EQ(context.run(scenario).digest(), reference)
+          << "pooling=" << pooling << " arena=" << arena;
+    }
+  }
+}
+
+TEST(RunContextTest, RunEngineCountersDescribeTheContext) {
+  const Scenario scenario = scenario_for("explored/agreement-14960b90", 1);
+
+  RunContext context;
+  const RunReport first = context.run(scenario);
+  EXPECT_EQ(first.contexts_recycled, 0u);
+  EXPECT_GT(first.arena_bytes_peak, 0u);
+
+  // Identical replays on the recycled context: the work *requested* is a
+  // pure function of the run (evaluations constant), and within a few
+  // replays the probe gate's deterministic retry cadence must realign with
+  // a stored view and start serving membership evaluations from the
+  // retained memo (the cadence cycles through at most kProbeRetry offsets).
+  std::uint64_t warm_hits = 0;
+  for (int replay = 1; replay <= 10; ++replay) {
+    const RunReport r = context.run(scenario);
+    EXPECT_EQ(r.contexts_recycled, static_cast<std::uint64_t>(replay));
+    EXPECT_EQ(r.evaluations, first.evaluations) << "replay " << replay;
+    EXPECT_EQ(r.digest(), first.digest()) << "replay " << replay;
+    warm_hits += r.eval_cache_hits;
+  }
+  EXPECT_GT(warm_hits, 0u);
+}
+
+TEST(RunContextTest, ArenaOffRunsReportNoArenaBytes) {
+  const auto* entry = ScenarioRegistry::paper().find("dyn/staggered-join");
+  ASSERT_NE(entry, nullptr);
+  const Scenario scenario = entry->make(3).seed(3).arena(false).build();
+  RunContext context;
+  const RunReport report = context.run(scenario);
+  EXPECT_EQ(report.arena_bytes_peak, 0u);
+}
+
+TEST(RunContextTest, PoolingOffDelegatesToFreshRuns) {
+  const auto* entry = ScenarioRegistry::paper().find("dyn/link-flap");
+  ASSERT_NE(entry, nullptr);
+  const Scenario scenario = entry->make(2).seed(2).context_pooling(false).build();
+  RunContext context;
+  const RunReport a = context.run(scenario);
+  const RunReport b = context.run(scenario);
+  EXPECT_EQ(a.contexts_recycled, 0u);
+  EXPECT_EQ(b.contexts_recycled, 0u);  // never recycled: fresh every time
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(context.runs_executed(), 2u);
+}
+
+}  // namespace
+}  // namespace bftcup

@@ -6,9 +6,10 @@ Rows are matched on their identity fields (workload / strategy / n / mode);
 rows carrying `"gate": false` are reported but never enforced. The compared
 metric is chosen per row:
 
-  * speedup_vs_cold — preferred when present (bench_membership): both sides
-    of the ratio were measured on the *same* machine, so the number is
-    robust to runner-speed differences between the baseline machine and CI.
+  * speedup_vs_cold / speedup_vs_fresh — preferred when present
+    (bench_membership, bench_runengine): both sides of the ratio were
+    measured on the *same* machine, so the number is robust to
+    runner-speed differences between the baseline machine and CI.
     Compared as-is.
   * events_per_sec / evals_per_sec — absolute throughput otherwise
     (bench_simcore). Absolute numbers are machine-dependent, so each value
@@ -27,7 +28,7 @@ import math
 import sys
 
 IDENTITY_KEYS = ("workload", "strategy", "n", "mode")
-RATIO_METRICS = ("speedup_vs_cold",)
+RATIO_METRICS = ("speedup_vs_cold", "speedup_vs_fresh")
 ABSOLUTE_METRICS = ("events_per_sec", "evals_per_sec")
 
 
