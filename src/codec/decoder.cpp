@@ -67,7 +67,10 @@ std::optional<Bytes> Decoder::get_bytes() {
 std::optional<std::string> Decoder::get_string() {
   const auto len = get_varint();
   if (!len || !need(*len)) return std::nullopt;
-  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+  // Iterator-range construction widens each uint8_t to char individually —
+  // same bytes as the old reinterpret_cast of data(), with no cast at all.
+  std::string out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
   pos_ += *len;
   return out;
 }

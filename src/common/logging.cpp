@@ -1,7 +1,6 @@
 #include "common/logging.hpp"
 
 #include <iostream>
-#include <mutex>
 
 #include "common/ids.hpp"
 
@@ -35,12 +34,19 @@ Logger& Logger::instance() {
   return logger;
 }
 
+void Logger::set_sink(std::ostream* sink) {
+  // Swapping the sink must wait out any in-flight write: a test redirecting
+  // output while a pool worker logs would otherwise race on the pointer.
+  MutexLock lock(mutex_);
+  sink_ = sink;
+}
+
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view message) {
-  if (!enabled(level) || sink_ == nullptr) return;
+  if (!enabled(level)) return;
   // The sink is shared by every simulator; BatchRunner runs them on a pool.
-  static std::mutex mutex;
-  std::lock_guard<std::mutex> lock(mutex);
+  MutexLock lock(mutex_);
+  if (sink_ == nullptr) return;
   (*sink_) << "[" << level_name(level) << "] " << component << ": " << message
            << '\n';
 }

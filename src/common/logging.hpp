@@ -1,13 +1,21 @@
 // Minimal leveled logger.
 //
-// The simulator is deterministic and single-threaded, so the logger stays
-// trivially simple: a global level, a sink that defaults to stderr, and
-// stream-style call sites. Tests silence it; examples turn it up.
+// The simulator is deterministic and single-threaded, but the logger sink
+// is shared by every simulator BatchRunner drives on its pool, so the two
+// mutable pieces are the only concurrency-aware state in common/: the
+// level is an atomic (read on every call site's fast path), the sink
+// pointer is guarded by a mutex held across each write so lines never
+// interleave and a test swapping the sink cannot race a worker mid-line.
+// The lock discipline is machine-checked by Clang's -Wthread-safety (see
+// common/thread_annotations.hpp).
 #pragma once
 
+#include <atomic>
 #include <ostream>
 #include <sstream>
 #include <string_view>
+
+#include "common/thread_annotations.hpp"
 
 namespace bftcup {
 
@@ -17,22 +25,28 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  void set_sink(std::ostream* sink) { sink_ = sink; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  void set_sink(std::ostream* sink) BFTCUP_EXCLUDES(mutex_);
 
   [[nodiscard]] bool enabled(LogLevel level) const {
-    return level >= level_ && level_ != LogLevel::kOff;
+    const LogLevel current = level_.load(std::memory_order_relaxed);
+    return level >= current && current != LogLevel::kOff;
   }
 
   void write(LogLevel level, std::string_view component,
-             std::string_view message);
+             std::string_view message) BFTCUP_EXCLUDES(mutex_);
 
  private:
   Logger();
 
-  LogLevel level_ = LogLevel::kWarn;
-  std::ostream* sink_;
+  mutable Mutex mutex_;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::ostream* sink_ BFTCUP_GUARDED_BY(mutex_);
 };
 
 namespace detail {

@@ -17,10 +17,11 @@
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace bftcup::crypto {
 
-class KeyringCache {
+class BFTCUP_THREAD_CONFINED KeyringCache {
  public:
   /// The secret for `id` under registry seed `key_seed`, derived on first
   /// use and shared by every subsequent run that asks again.

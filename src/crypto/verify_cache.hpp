@@ -24,6 +24,7 @@
 #include <unordered_map>
 
 #include "common/fnv.hpp"
+#include "common/thread_annotations.hpp"
 #include "crypto/keys.hpp"
 
 namespace bftcup::crypto {
@@ -108,7 +109,7 @@ struct SigMemoEq {
 
 }  // namespace detail
 
-class VerifyCache {
+class BFTCUP_THREAD_CONFINED VerifyCache {
  public:
   struct Stats {
     std::uint64_t lookups = 0;  ///< verify() calls routed through the cache
@@ -150,7 +151,7 @@ class VerifyCache {
 /// protocols re-sign identical artifacts on every recycled replay (own
 /// PDs, PBFT vote payloads); a hit replaces the HMAC-SHA256 computation
 /// with a table lookup. Attached to a KeyRegistry by the run engine.
-class SignCache {
+class BFTCUP_THREAD_CONFINED SignCache {
  public:
   struct Stats {
     std::uint64_t lookups = 0;

@@ -5,12 +5,12 @@
 #include <charconv>
 #include <cinttypes>
 #include <cmath>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "common/thread_annotations.hpp"
 #include "cup/run_context.hpp"
 
 namespace bftcup::cup {
@@ -683,12 +683,31 @@ BatchReport BatchRunner::run(const Sweep& sweep) const {
 
 namespace {
 
+/// First-failure slot shared by the pool's workers. The lock discipline is
+/// machine-checked: `first` is GUARDED_BY the mutex, so any access outside
+/// store()/take() fails the Clang -Wthread-safety build.
+struct FailureSlot {
+  Mutex mutex;
+  std::exception_ptr first BFTCUP_GUARDED_BY(mutex);
+
+  void store(std::exception_ptr error) BFTCUP_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    if (!first) first = std::move(error);
+  }
+  [[nodiscard]] std::exception_ptr take() BFTCUP_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    return first;
+  }
+};
+
 /// Drains indices [0, count) through a work-stealing std::thread pool.
 /// Every worker owns one recyclable RunContext (when `pooled`) handed to
-/// each unit of work it claims — the run-engine steady state. Results land
-/// in caller-owned slots indexed by i, so the output order is independent
-/// of thread placement. The first exception wins and is rethrown after the
-/// pool drains.
+/// each unit of work it claims — the run-engine steady state. The work
+/// queue is a single atomic cursor; report aggregation needs no lock
+/// because results land in caller-owned slots indexed by i (disjoint per
+/// run), which also makes the output order independent of thread
+/// placement. The first exception wins and is rethrown after the pool
+/// drains.
 void pool_execute(
     std::size_t count, std::size_t requested_threads, bool pooled,
     const std::function<void(std::size_t, RunContext*)>& work) {
@@ -699,8 +718,7 @@ void pool_execute(
   threads = std::min(threads, count);
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
+  FailureSlot failure;
 
   auto worker = [&] {
     std::optional<RunContext> context;
@@ -711,8 +729,7 @@ void pool_execute(
       try {
         work(i, context ? &*context : nullptr);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
+        failure.store(std::current_exception());
         return;
       }
     }
@@ -726,7 +743,9 @@ void pool_execute(
     for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
-  if (failure) std::rethrow_exception(failure);
+  if (std::exception_ptr error = failure.take()) {
+    std::rethrow_exception(error);
+  }
 }
 
 /// One point through the worker's context (or fresh when pooling is off —

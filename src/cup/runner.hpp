@@ -87,22 +87,30 @@ struct RunReport {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   /// Messages lost to fault-timeline events (always 0 without a timeline).
+  // cup-lint: digest-excluded(appending it would invalidate every golden digest)
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
   /// Per-message-type sent counts (traffic shape; a coverage feature for the
   /// adversary explorer). Excluded from digest() like messages_dropped.
+  // cup-lint: digest-excluded(coverage feature; golden digests predate it)
   sim::Trace::MsgHistogram sent_by_type{};
   // Cache-effectiveness counters (where the run's search/crypto time went).
   // Like messages_dropped they are excluded from digest(): they vary with
   // the cache knobs while the replayed behavior does not.
+  // cup-lint: digest-excluded(cache knob, behavior-neutral)
   std::uint64_t evaluations = 0;       ///< membership evaluations requested
+  // cup-lint: digest-excluded(cache knob, behavior-neutral)
   std::uint64_t eval_cache_hits = 0;   ///< served by the shared eval memo
+  // cup-lint: digest-excluded(cache knob, behavior-neutral)
   std::uint64_t signatures_verified = 0;  ///< HMAC verifications computed
+  // cup-lint: digest-excluded(cache knob, behavior-neutral)
   std::uint64_t signatures_cached = 0;    ///< served by the verification memo
   // Run-engine counters (digest-excluded like the cache counters; they
   // describe the *executing context*, not the run's behavior, and so vary
   // with pooling and thread placement).
+  // cup-lint: digest-excluded(executing-context property, placement-varying)
   std::uint64_t contexts_recycled = 0;  ///< prior runs this context served
+  // cup-lint: digest-excluded(executing-context property, placement-varying)
   std::uint64_t arena_bytes_peak = 0;   ///< RunArena high-water, 0 w/o arena
   std::map<ProcessId, sim::Decision> decisions;
   std::map<ProcessId, IdSet> memberships;

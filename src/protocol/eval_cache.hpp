@@ -34,6 +34,7 @@
 
 #include "common/bytes.hpp"
 #include "common/fnv.hpp"
+#include "common/thread_annotations.hpp"
 #include "protocol/core.hpp"
 #include "protocol/sink.hpp"
 
@@ -193,7 +194,7 @@ struct EvalKeyEq {
 /// memo is *consulted* — results are identical either way — and it is a
 /// deterministic function of the evaluation history, so replays stay
 /// bit-identical.
-class SharedEvalCache {
+class BFTCUP_THREAD_CONFINED SharedEvalCache {
  public:
   struct Stats {
     std::uint64_t evaluations = 0;  ///< membership evaluations requested

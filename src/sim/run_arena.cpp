@@ -46,6 +46,7 @@ void* RunArena::do_allocate(std::size_t bytes, std::size_t align) {
 void* RunArena::bump(Block& block, std::size_t bytes, std::size_t align) {
   // Align the absolute address, not the offset: block bases only guarantee
   // operator new[] alignment, which over-aligned types may exceed.
+  // cup-lint: cast-ok(pointer-to-integer for alignment math; never cast back)
   const auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
   const std::size_t offset = align_up(base + block.used, align) - base;
   if (offset + bytes > block.size) return nullptr;

@@ -1,0 +1,20 @@
+// cup_lint fixture: R1 must fire — iterating a hash table on a digest path.
+// Not compiled; scanned by `cup_lint.py --self-test tests/lint_corpus`.
+// cup-lint-expect: R1
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+struct TraceRecord {
+  std::unordered_map<std::string, std::uint64_t> sent_by_type;
+};
+
+std::string coverage_histogram(const TraceRecord& record) {
+  std::string signature;
+  // Hash-table order depends on the allocator and the hash seed: two runs
+  // of the same scenario would emit different signatures.
+  for (const auto& [type, count] : record.sent_by_type) {
+    signature += type + ":" + std::to_string(count) + ",";
+  }
+  return signature;
+}

@@ -1,0 +1,26 @@
+// cup_lint fixture: the ordered twin of r1_unordered_digest.bad.cpp.
+// std::map iterates in key order (replayable); the membership lookup keeps
+// an unordered index but justifies the one place it is walked.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct TraceRecord {
+  std::map<std::string, std::uint64_t> sent_by_type;
+  std::unordered_map<std::string, std::uint64_t> index;
+};
+
+std::string coverage_histogram(const TraceRecord& record) {
+  std::string signature;
+  for (const auto& [type, count] : record.sent_by_type) {
+    signature += type + ":" + std::to_string(count) + ",";
+  }
+  std::uint64_t total = 0;
+  // cup-lint: ordered-ok(order-insensitive fold: addition commutes)
+  for (const auto& [type, count] : record.index) {
+    total += count;
+  }
+  signature += std::to_string(total);
+  return signature;
+}

@@ -1,0 +1,19 @@
+// cup_lint fixture: R2 must fire — ambient entropy and wall-clock sources
+// outside sim::Rng. Not compiled; scanned by --self-test.
+// cup-lint-expect: R2
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <random>
+
+std::uint64_t jitter_seed() {
+  std::random_device device;  // hardware entropy: never replayable
+  std::mt19937 engine(device());
+  return engine() ^ static_cast<std::uint64_t>(time(nullptr)) ^
+         static_cast<std::uint64_t>(rand());
+}
+
+std::size_t bucket_of(const int* slot) {
+  // Address-dependent hashing: the same run hashes differently per ASLR.
+  return std::hash<const int*>{}(slot);
+}

@@ -1,0 +1,29 @@
+// cup_lint fixture: the deterministic twin of r2_ambient_entropy.bad.cpp.
+// All randomness flows through a seeded generator owned by the simulation;
+// the one justified exception is annotated.
+#include <cstdint>
+
+namespace sim {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 1) {}
+  std::uint64_t next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+}  // namespace sim
+
+std::uint64_t jitter_seed(sim::Rng& rng) {
+  return rng.next();
+}
+
+std::uint64_t wall_clock_for_bench_label() {
+  // cup-lint: rng-ok(bench label only; the value never reaches a replayed path)
+  return static_cast<std::uint64_t>(time(nullptr));
+}

@@ -1,0 +1,16 @@
+// cup_lint fixture: the audited twin of r4_reinterpret.bad.cpp — memcpy
+// for the byte reads (no aliasing or alignment UB), and one justified
+// pointer-to-integer cast.
+#include <cstdint>
+#include <cstring>
+
+std::uint32_t first_word(const unsigned char* frame) {
+  std::uint32_t word = 0;
+  std::memcpy(&word, frame, sizeof(word));
+  return word;
+}
+
+std::uintptr_t slot_tag(const unsigned char* frame) {
+  // cup-lint: cast-ok(pointer-to-integer for a debug tag; never cast back)
+  return reinterpret_cast<std::uintptr_t>(frame);
+}

@@ -1,0 +1,32 @@
+// Negative compile-only fixture for tools/check_thread_safety.py: reading
+// and writing a GUARDED_BY member without its mutex MUST fail under
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+// If this file ever compiles under that configuration, the analysis is
+// silently off and the whole annotation layer is decorative — the driver
+// treats that as a hard failure.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class GuardedCounter {
+ public:
+  void increment_unguarded() {
+    ++value_;  // BAD: -Wthread-safety must reject this access
+  }
+
+  [[nodiscard]] int value_unguarded() const {
+    return value_;  // BAD: and this one
+  }
+
+ private:
+  bftcup::Mutex mutex_;
+  int value_ BFTCUP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  GuardedCounter counter;
+  counter.increment_unguarded();
+  return counter.value_unguarded();
+}

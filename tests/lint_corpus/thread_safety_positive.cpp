@@ -1,0 +1,34 @@
+// Compile-only fixture for tools/check_thread_safety.py: correct lock
+// discipline over an annotated Mutex MUST build cleanly under
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+// (and under g++, where the annotations expand to nothing). Its twin,
+// thread_safety_negative.cpp, must NOT build — together they prove the
+// analysis is actually on and actually understands the shim.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class GuardedCounter {
+ public:
+  void increment() {
+    bftcup::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  [[nodiscard]] int value() {
+    bftcup::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  bftcup::Mutex mutex_;
+  int value_ BFTCUP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  GuardedCounter counter;
+  counter.increment();
+  return counter.value() == 1 ? 0 : 1;
+}

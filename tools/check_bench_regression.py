@@ -22,37 +22,44 @@ metric is chosen per row:
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.30]
 """
+
+from __future__ import annotations
+
 import argparse
 import json
 import math
 import sys
+from typing import Any
+
+Row = dict[str, Any]
+RowKey = tuple[tuple[str, Any], ...]
 
 IDENTITY_KEYS = ("workload", "strategy", "n", "mode")
 RATIO_METRICS = ("speedup_vs_cold", "speedup_vs_fresh")
 ABSOLUTE_METRICS = ("events_per_sec", "evals_per_sec")
 
 
-def row_key(row):
+def row_key(row: Row) -> RowKey:
     return tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
 
 
-def metric_for(row):
+def metric_for(row: Row) -> str | None:
     for metric in RATIO_METRICS + ABSOLUTE_METRICS:
         if metric in row:
             return metric
     return None
 
 
-def geomean(values):
+def geomean(values: list[float]) -> float:
     positives = [v for v in values if v > 0]
     if not positives:
         return 1.0
     return math.exp(sum(math.log(v) for v in positives) / len(positives))
 
 
-def normalizer(rows):
+def normalizer(rows: list[Row]) -> float:
     """Geometric mean of the gated absolute-metric values of one file."""
-    values = []
+    values: list[float] = []
     for row in rows:
         if row.get("gate", True) is False:
             continue
@@ -62,7 +69,7 @@ def normalizer(rows):
     return geomean(values)
 
 
-def main():
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("current")
@@ -79,11 +86,11 @@ def main():
     with open(args.current) as f:
         current_rows_list = json.load(f).get("results", [])
 
-    current_rows = {row_key(r): r for r in current_rows_list}
+    current_rows: dict[RowKey, Row] = {row_key(r): r for r in current_rows_list}
     base_norm = normalizer(baseline_rows)
     cur_norm = normalizer(current_rows_list)
 
-    failures = []
+    failures: list[str] = []
     checked = 0
     for base_row in baseline_rows:
         metric = metric_for(base_row)

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Scoped clang-tidy driver for CI (see README "Static analysis").
+
+Running clang-tidy over every translation unit takes far longer than the
+CI budget, so this driver tidies a bounded, deterministic slice:
+
+  * the files changed on this branch (``--since BASE``, via git diff),
+    filtered to C++ sources that appear in compile_commands.json, plus
+  * the always-checked core: the run engine and batch runner, whose
+    correctness the whole determinism story rests on.
+
+The slice is capped (``--max-files``) so a tree-wide refactor degrades to
+"core files only" instead of timing out. clang-tidy reads the check set
+and WarningsAsErrors list from the repository's .clang-tidy; this driver
+adds nothing on top.
+
+Usage:
+  run_clang_tidy.py --build-dir build [--since origin/main]
+                    [--clang-tidy clang-tidy] [--max-files 40] [-j N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+# Always analyzed, changed or not: the determinism-critical core.
+CORE_FILES = (
+    "src/cup/runner.cpp",
+    "src/cup/batch_runner.cpp",
+    "src/cup/run_context.cpp",
+    "src/sim/trace.cpp",
+    "src/explore/explorer.cpp",
+)
+
+SKIP_EXIT_CODE = 77
+
+
+def find_tool(explicit: str | None) -> str | None:
+    candidates = [explicit] if explicit else []
+    candidates += [f"clang-tidy-{v}" for v in range(21, 13, -1)]
+    candidates += ["clang-tidy"]
+    for name in candidates:
+        if name and shutil.which(name):
+            return name
+    return None
+
+
+def compiled_sources(build_dir: Path) -> set[Path]:
+    """Absolute paths of every TU in compile_commands.json."""
+    database = build_dir / "compile_commands.json"
+    if not database.is_file():
+        raise SystemExit(
+            f"error: {database} not found; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
+        )
+    entries = json.loads(database.read_text())
+    return {
+        (Path(entry["directory"]) / entry["file"]).resolve()
+        for entry in entries
+    }
+
+
+def changed_files(root: Path, since: str) -> list[Path]:
+    result = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=d", f"{since}...HEAD"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if result.returncode != 0:
+        print(
+            f"warning: git diff against {since!r} failed "
+            f"({result.stderr.strip()}); tidying core files only",
+            file=sys.stderr,
+        )
+        return []
+    return [
+        root / line
+        for line in result.stdout.splitlines()
+        if line.endswith(".cpp")
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--since", help="base ref for the changed-file slice")
+    parser.add_argument("--clang-tidy", help="clang-tidy binary to use")
+    parser.add_argument("--max-files", type=int, default=40)
+    parser.add_argument("-j", "--jobs", type=int, default=1)
+    args = parser.parse_args()
+
+    tidy = find_tool(args.clang_tidy)
+    if tidy is None:
+        print("run_clang_tidy: no clang-tidy found; skipping (exit 77)")
+        return SKIP_EXIT_CODE
+
+    root = Path.cwd().resolve()
+    build_dir = (root / args.build_dir).resolve()
+    compilable = compiled_sources(build_dir)
+
+    targets: list[Path] = []
+    for rel in CORE_FILES:
+        path = (root / rel).resolve()
+        if path in compilable:
+            targets.append(path)
+    if args.since:
+        for path in changed_files(root, args.since):
+            resolved = path.resolve()
+            if resolved in compilable and resolved not in targets:
+                targets.append(resolved)
+
+    dropped = len(targets) - args.max_files
+    if dropped > 0:
+        print(
+            f"run_clang_tidy: capping at {args.max_files} files "
+            f"({dropped} changed files dropped; run locally for the rest)"
+        )
+        targets = targets[: args.max_files]
+
+    if not targets:
+        print("run_clang_tidy: nothing to analyze")
+        return 0
+
+    print(f"run_clang_tidy: {tidy} over {len(targets)} file(s)")
+    failed: list[str] = []
+    pending: list[tuple[Path, subprocess.Popen[str]]] = []
+
+    def drain(limit: int) -> None:
+        while len(pending) > limit:
+            path, process = pending.pop(0)
+            output, _ = process.communicate()
+            shown = path.relative_to(root)
+            if process.returncode != 0:
+                failed.append(str(shown))
+                print(f"FAIL {shown}\n{output}")
+            else:
+                print(f"ok   {shown}")
+
+    for target in targets:
+        process = subprocess.Popen(
+            [tidy, "-p", str(build_dir), "--quiet", str(target)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        pending.append((target, process))
+        drain(max(args.jobs - 1, 0))
+    drain(0)
+
+    if failed:
+        print(
+            f"\nrun_clang_tidy: {len(failed)} file(s) failed: "
+            + ", ".join(failed),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"run_clang_tidy: all {len(targets)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
