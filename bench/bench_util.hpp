@@ -9,6 +9,10 @@
 #include <cstdio>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "cup/batch_runner.hpp"
 #include "graph/digraph.hpp"
 
@@ -26,6 +30,25 @@ inline double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Process peak resident set size in bytes (0 where getrusage is
+/// unavailable). A high-water mark, not a live figure: in a multi-leg bench
+/// run the legs must execute in ascending-memory order for per-leg readings
+/// to be attributable (bench_scale orders its n sweep ascending for exactly
+/// this reason).
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 /// The membership/run-engine bench system: a complete core of

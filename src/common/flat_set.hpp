@@ -45,6 +45,27 @@ class FlatSet {
     return added;
   }
 
+  /// Sorted-input overload: a single linear merge instead of per-element
+  /// binary search + memmove (O(n+m) vs O(n·m) — the S_known merges of a
+  /// large-n discovery round are dominated by this call).
+  std::size_t insert_all(const FlatSet& other) {
+    if (other.items_.empty()) return 0;
+    if (items_.empty()) {
+      items_ = other.items_;
+      return items_.size();
+    }
+    if (other.items_.size() == 1) {
+      return insert(other.items_.front()) ? 1U : 0U;
+    }
+    std::vector<T> merged;
+    merged.reserve(items_.size() + other.items_.size());
+    std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                   other.items_.end(), std::back_inserter(merged));
+    const std::size_t added = merged.size() - items_.size();
+    items_ = std::move(merged);
+    return added;
+  }
+
   /// Removes `v`; returns true if it was present.
   bool erase(const T& v) {
     auto it = std::lower_bound(items_.begin(), items_.end(), v);

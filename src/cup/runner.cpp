@@ -6,6 +6,7 @@
 #include "cup/cupft_node.hpp"
 #include "cup/naive_node.hpp"
 #include "cup/node.hpp"
+#include "protocol/sink_search.hpp"
 
 namespace bftcup::cup {
 namespace {
@@ -86,6 +87,9 @@ RunReport execute_scenario(
   // Cross-run caches are cumulative; report deltas against entry.
   const protocol::SharedEvalCache::Stats eval_stats0 = eval_cache->stats();
   const crypto::VerifyCache::Stats verify_stats0 = simulator.verify_stats();
+  // Bracket the run so the per-thread fallback counter and its once-per-run
+  // warning rate limit are scoped to this scenario.
+  protocol::reset_big_scc_fallbacks();
 
   if (scenario.make_policy) {
     simulator.set_delay_policy(scenario.make_policy());
@@ -209,6 +213,7 @@ RunReport execute_scenario(
   const std::uint64_t sig_hits = verify_stats.hits - verify_stats0.hits;
   report.signatures_verified = lookups - sig_hits;
   report.signatures_cached = sig_hits;
+  report.big_scc_fallbacks = protocol::big_scc_fallbacks();
 
   // Validity: every decided value was somebody's proposal.
   for (const auto& [who, decision] : report.decisions) {

@@ -112,6 +112,12 @@ struct RunReport {
   std::uint64_t contexts_recycled = 0;  ///< prior runs this context served
   // cup-lint: digest-excluded(executing-context property, placement-varying)
   std::uint64_t arena_bytes_peak = 0;   ///< RunArena high-water, 0 w/o arena
+  /// SCCs routed through the big-SCC certification path (sink_search.hpp)
+  /// during this run — a scale diagnostic: nonzero means the topology grew
+  /// components past the enumeration caps and candidate coverage switched
+  /// from exhaustive to certify-plus-sample.
+  // cup-lint: digest-excluded(diagnostic counter, behavior-neutral)
+  std::uint64_t big_scc_fallbacks = 0;
   std::map<ProcessId, sim::Decision> decisions;
   std::map<ProcessId, IdSet> memberships;
   std::map<ProcessId, SimTime> membership_times;

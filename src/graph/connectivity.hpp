@@ -32,10 +32,17 @@ namespace bftcup::graph {
 
 /// κ(g): the maximum k for which g is k-strongly connected; 0 if g is not
 /// strongly connected or has < 2 vertices. (By the path definition a
-/// complete graph on n vertices has κ = n-1.)
+/// complete graph on n vertices has κ = n-1.) Exact at every size: small
+/// graphs run the all-pairs reference loop, graphs of >= 64 vertices take
+/// the sub-quadratic certified path — complete-graph and degree-bound
+/// early exits, then (min-degree + 3) pivot vertices probed against every
+/// other vertex over one batched max-flow network (a pivot-free minimum
+/// cut would contradict the probed flows; see pivot_count in the .cpp).
 [[nodiscard]] std::size_t strong_connectivity(const Digraph& g);
 
-/// True iff g is k-strongly connected. Cheaper than computing κ exactly.
+/// True iff g is k-strongly connected. Cheaper than computing κ exactly;
+/// takes the same certified pivot path as strong_connectivity at >= 64
+/// vertices.
 [[nodiscard]] bool is_k_strongly_connected(const Digraph& g, std::size_t k);
 
 /// True iff every i in `sources` has >= k node-disjoint paths to every j in

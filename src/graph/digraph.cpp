@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/bitset64.hpp"
+
 namespace bftcup::graph {
 
 Digraph::Digraph(const IdSet& vertices) {
@@ -31,6 +33,15 @@ bool Digraph::add_edge(ProcessId from, ProcessId to) {
   return true;
 }
 
+void Digraph::add_edge_unchecked(ProcessId from, ProcessId to) {
+  if (from == to) return;
+  const std::size_t u = index_.find(from)->second;
+  const std::size_t v = index_.find(to)->second;
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  ++edge_count_;
+}
+
 bool Digraph::has_vertex(ProcessId id) const {
   return index_.contains(id);
 }
@@ -50,9 +61,9 @@ std::optional<std::size_t> Digraph::index_of(ProcessId id) const {
 }
 
 IdSet Digraph::vertices() const {
-  IdSet out;
-  for (ProcessId id : ids_) out.insert(id);
-  return out;
+  // ids_ is in insertion order; the normalizing constructor sorts once
+  // instead of paying a memmove per out-of-order insert.
+  return IdSet(ids_);
 }
 
 IdSet Digraph::out_neighbors(ProcessId id) const {
@@ -72,6 +83,9 @@ IdSet Digraph::in_neighbors(ProcessId id) const {
 }
 
 Digraph Digraph::induced(const IdSet& keep) const {
+  // The edge filter runs |keep| · degree membership tests; the probe makes
+  // each one a word lookup once keep is large and dense.
+  const AdaptiveIdProbe probe(keep);
   Digraph sub;
   for (ProcessId id : keep) {
     if (has_vertex(id)) sub.add_vertex(id);
@@ -79,8 +93,10 @@ Digraph Digraph::induced(const IdSet& keep) const {
   for (ProcessId id : keep) {
     const auto u = index_of(id);
     if (!u) continue;
+    // out_[*u] holds each target once (add_edge de-duplicates), so the
+    // projection cannot introduce duplicates either.
     for (std::size_t v : out_[*u]) {
-      if (keep.contains(ids_[v])) sub.add_edge(id, ids_[v]);
+      if (probe.contains(ids_[v])) sub.add_edge_unchecked(id, ids_[v]);
     }
   }
   return sub;
@@ -121,24 +137,27 @@ bool Digraph::weakly_connected() const {
 }
 
 IdSet Digraph::reachable_from(ProcessId from) const {
-  IdSet result;
   const auto start = index_of(from);
-  if (!start) return result;
-  std::vector<bool> seen(ids_.size(), false);
+  if (!start) return {};
+  BitSet seen;
+  seen.reset_bits(ids_.size());
+  std::vector<ProcessId> collected;
   std::vector<std::size_t> stack = {*start};
-  seen[*start] = true;
+  seen.set(*start);
   while (!stack.empty()) {
     const std::size_t u = stack.back();
     stack.pop_back();
-    result.insert(ids_[u]);
+    collected.push_back(ids_[u]);
     for (std::size_t v : out_[u]) {
-      if (!seen[v]) {
-        seen[v] = true;
+      if (!seen.test(v)) {
+        seen.set(v);
         stack.push_back(v);
       }
     }
   }
-  return result;
+  // Collect in DFS order, sort once: inserting into the sorted set inside
+  // the loop is O(reach²) in memmoves.
+  return IdSet(std::move(collected));
 }
 
 bool operator==(const Digraph& a, const Digraph& b) {

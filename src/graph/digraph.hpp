@@ -29,6 +29,13 @@ class Digraph {
   /// new.
   bool add_edge(ProcessId from, ProcessId to);
 
+  /// add_edge without the duplicate scan — the caller guarantees the edge
+  /// is not already present (e.g. projecting edges of a graph that already
+  /// de-duplicated them). The scan is O(out-degree), which turns building a
+  /// dense induced subgraph cubic; this keeps it linear in the edges. Both
+  /// endpoints must already be vertices.
+  void add_edge_unchecked(ProcessId from, ProcessId to);
+
   [[nodiscard]] bool has_vertex(ProcessId id) const;
   [[nodiscard]] bool has_edge(ProcessId from, ProcessId to) const;
 

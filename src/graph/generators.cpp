@@ -1,5 +1,6 @@
 #include "graph/generators.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bftcup::graph::generators {
@@ -145,6 +146,110 @@ GeneratedSystem random_split_brain(const BftCupParams& side, Rng& rng) {
   const ProcessId bridge_b(b.faulty.begin()->raw() + kOffset);
   sys.graph.add_edge(bridge_a, bridge_b);
   sys.graph.add_edge(bridge_b, bridge_a);
+  return sys;
+}
+
+GeneratedSystem committee_of_committees(const HierarchyParams& params,
+                                        Rng& rng) {
+  assert(params.f >= 1);
+  assert(params.root_size >= 3 * params.f + 1);
+  assert(params.committee_size >= 2);
+  assert(params.branching >= 1);
+  assert(params.parent_fanout >= 1);
+
+  GeneratedSystem sys;
+  sys.f = params.f;
+
+  std::vector<ProcessId> root_ids;
+  for (std::size_t i = 0; i < params.root_size; ++i) {
+    root_ids.emplace_back(i + 1);
+  }
+  add_complete(sys.graph, root_ids);
+  for (ProcessId id : root_ids) sys.sink.insert(id);
+  sys.faulty = pick_distinct(root_ids, params.f, rng);
+
+  // Grow the committee tree breadth-first until the population floor is
+  // reached. Committee 0 is the root; children are rings.
+  std::vector<std::vector<ProcessId>> committees{root_ids};
+  std::size_t produced = params.root_size;
+  std::uint64_t next_id = 100;
+  for (std::size_t parent = 0;
+       parent < committees.size() && produced < params.total; ++parent) {
+    for (std::size_t child = 0;
+         child < params.branching && produced < params.total; ++child) {
+      std::vector<ProcessId> members;
+      for (std::size_t i = 0; i < params.committee_size; ++i) {
+        members.emplace_back(next_id++);
+      }
+      produced += members.size();
+      const std::size_t fan =
+          std::min(params.parent_fanout, committees[parent].size());
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        // Ring successor (κ = 1 committee) + upward contacts; knowledge
+        // never flows down, so every non-root SCC is exactly one ring.
+        sys.graph.add_edge(members[i], members[(i + 1) % members.size()]);
+        for (ProcessId target : pick_distinct(committees[parent], fan, rng)) {
+          sys.graph.add_edge(members[i], target);
+        }
+      }
+      committees.push_back(std::move(members));
+    }
+  }
+  return sys;
+}
+
+GeneratedSystem adhoc_mesh(const AdhocMeshParams& params, Rng& rng) {
+  assert(params.f >= 1);
+  assert(params.byzantine_in_sink <= params.f);
+  assert(params.sink_size >= 3 * params.f + 1);
+  assert(params.layers >= 1);
+  assert(params.fanout >= 1);
+  assert(params.total > params.sink_size);
+
+  GeneratedSystem sys;
+  sys.f = params.f;
+
+  std::vector<ProcessId> sink_ids;
+  for (std::size_t i = 0; i < params.sink_size; ++i) {
+    sink_ids.emplace_back(i + 1);
+  }
+  add_complete(sys.graph, sink_ids);
+  for (ProcessId id : sink_ids) sys.sink.insert(id);
+  sys.faulty = pick_distinct(sink_ids, params.byzantine_in_sink, rng);
+
+  // Periphery: `layers` equal slices of the remaining population, ids
+  // ascending outward. Edges only point at the next-lower layer, so every
+  // periphery process is a singleton SCC.
+  const std::size_t periphery = params.total - params.sink_size;
+  const std::size_t per_layer = std::max<std::size_t>(1, periphery / params.layers);
+  std::vector<ProcessId> lower = sink_ids;
+  std::uint64_t next_id = 100;
+  std::size_t placed = 0;
+  for (std::size_t layer = 1; layer <= params.layers && placed < periphery;
+       ++layer) {
+    std::size_t size = layer == params.layers ? periphery - placed : per_layer;
+    size = std::min(size, periphery - placed);
+    std::vector<ProcessId> current;
+    for (std::size_t i = 0; i < size; ++i) current.emplace_back(next_id++);
+    placed += size;
+    // Layer 1 keeps enough sink contacts that >= f+1 of them are correct
+    // even if every faulty sink member lands in its contact set.
+    const std::size_t fan = std::min(
+        layer == 1
+            ? std::max(params.fanout, params.f + 1 + params.byzantine_in_sink)
+            : params.fanout,
+        lower.size());
+    for (ProcessId id : current) {
+      for (ProcessId target : pick_distinct(lower, fan, rng)) {
+        sys.graph.add_edge(id, target);
+      }
+    }
+    lower = std::move(current);
+  }
+  // Faulty not placed in the sink are silent outermost-layer processes.
+  const std::size_t byz_outside =
+      std::min(params.f - params.byzantine_in_sink, lower.size());
+  sys.faulty.insert_all(pick_distinct(lower, byz_outside, rng));
   return sys;
 }
 

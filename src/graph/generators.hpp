@@ -60,4 +60,65 @@ struct CupftParams {
 [[nodiscard]] GeneratedSystem random_split_brain(const BftCupParams& side,
                                                  Rng& rng);
 
+// ---------------------------------------------------------------------------
+// Scale families (bench_scale): hierarchical topologies whose edge count and
+// per-node knowledge reach stay O(n) as `total` grows, so discovery traffic
+// and per-view search cost are sub-quadratic. Both keep the ground-truth sink
+// a small complete committee — n = 100k changes how far knowledge must
+// travel, not how hard the sink is to certify.
+
+struct HierarchyParams {
+  std::size_t f = 1;
+  /// Complete root committee — the ground-truth sink. Must satisfy
+  /// root_size >= 3f+1 (the silent faulty live here, and the root runs
+  /// consensus among itself).
+  std::size_t root_size = 7;
+  /// Members per non-root committee (arranged as a directed ring, κ = 1, so
+  /// no committee below the root can pass the predicate with g >= 1).
+  std::size_t committee_size = 6;
+  /// Child committees attached under each committee (tree depth is
+  /// logarithmic in `total`).
+  std::size_t branching = 8;
+  /// Contacts each member keeps in its parent committee.
+  std::size_t parent_fanout = 2;
+  /// Total processes; committees are added until this floor is reached.
+  std::size_t total = 1000;
+};
+
+/// Committee-of-committees: a complete root committee with a branching tree
+/// of ring committees below it. Every member points at its ring successor
+/// and `parent_fanout` random members of its parent committee, so knowledge
+/// (and discovery traffic) flows strictly upward: each process reaches only
+/// its own committee ring, the committees on its root path, and the root —
+/// O(depth * committee_size) regardless of `total`. The `f` faulty processes
+/// are silent root members; the root minus them is the unique certifiable
+/// sink (κ = root_size - f - 1 >= f+1).
+[[nodiscard]] GeneratedSystem committee_of_committees(
+    const HierarchyParams& params, Rng& rng);
+
+struct AdhocMeshParams {
+  std::size_t f = 1;
+  /// Complete sink clique; must be >= 3f+1 with all faulty placed inside.
+  std::size_t sink_size = 7;
+  /// Silent faulty inside the sink (<= f; the remainder are silent
+  /// periphery processes in the outermost layer).
+  std::size_t byzantine_in_sink = 1;
+  /// Periphery layers; layer 1 points into the sink, layer L into L-1.
+  std::size_t layers = 4;
+  /// Contacts per periphery process in the next-lower layer. Layer 1 keeps
+  /// max(fanout, f+1+byzantine_in_sink) sink contacts so every correct
+  /// process still reaches a correct sink member.
+  std::size_t fanout = 3;
+  /// Total processes; periphery layers split the remainder evenly.
+  std::size_t total = 1000;
+};
+
+/// Ad-hoc mesh: a complete sink clique with a layered DAG periphery — the
+/// paper's ad-hoc deployment shape at scale. Every periphery process is its
+/// own singleton SCC (edges only point toward lower layers), so the search
+/// never enumerates periphery subsets, and per-node knowledge reach is
+/// O(fanout^layers), independent of `total`.
+[[nodiscard]] GeneratedSystem adhoc_mesh(const AdhocMeshParams& params,
+                                         Rng& rng);
+
 }  // namespace bftcup::graph::generators

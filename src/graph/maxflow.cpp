@@ -15,6 +15,10 @@ void MaxFlow::reset(std::size_t node_count) {
   node_count_ = node_count;
 }
 
+void MaxFlow::reset_flow() {
+  for (Edge& e : edges_) e.capacity = e.original;
+}
+
 std::size_t MaxFlow::add_edge(std::size_t from, std::size_t to, int capacity) {
   const std::size_t idx = edges_.size();
   edges_.push_back({to, capacity, capacity});

@@ -29,9 +29,16 @@ class MaxFlow {
   /// (the reverse edge is index+1).
   std::size_t add_edge(std::size_t from, std::size_t to, int capacity);
 
+  /// Restores every edge to its original capacity, keeping the network
+  /// topology. Cheaper than rebuilding: the batched connectivity checks run
+  /// one flow per (source, target) pair over one shared network, paying a
+  /// linear sweep instead of an adjacency rebuild per pair.
+  void reset_flow();
+
   /// Computes max flow from s to t, stopping early once `limit` units have
   /// been pushed (useful for "are there >= k disjoint paths" checks).
-  /// May be called once per reset().
+  /// May be called once per reset(); call reset_flow() between runs to
+  /// reuse the same network for another (s, t) pair.
   int run(std::size_t s, std::size_t t, int limit = 1 << 30);
 
   /// Flow pushed on edge `e` (as returned by add_edge), valid after run().

@@ -49,7 +49,7 @@ class EvalScratch {
  public:
   EvalScratch() = default;
   explicit EvalScratch(std::pmr::memory_resource* mr)
-      : splits(mr), strategies(mr) {}
+      : splits(mr), strategies(mr), probe_words(mr) {}
   struct Stats {
     std::uint64_t scc_hits = 0;    ///< SCCs served from the candidate cache
     std::uint64_t scc_misses = 0;  ///< SCCs (re-)enumerated
@@ -98,6 +98,11 @@ class EvalScratch {
     std::pmr::map<IdSet, CachedCandidates> by_scc;
   };
   std::pmr::map<std::string, StrategyCache> strategies;
+
+  /// Reusable word storage for the adaptive membership probes
+  /// (common/bitset64.hpp) the split computation builds per S1 — transient
+  /// per call, arena-backed in pooled runs like the memo maps above.
+  std::pmr::vector<std::uint64_t> probe_words;
 
   /// Canonical content serialization of the owning view, valid while
   /// revisions match (the shared eval cache's key material).

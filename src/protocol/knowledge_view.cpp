@@ -1,5 +1,6 @@
 #include "protocol/knowledge_view.hpp"
 
+#include "common/bitset64.hpp"
 #include "protocol/eval_cache.hpp"
 
 namespace bftcup::protocol {
@@ -88,12 +89,15 @@ EvalScratch& KnowledgeView::eval_scratch() const {
 
 std::size_t KnowledgeView::out_reach_count(const IdSet& s1,
                                            const IdSet& targets) const {
+  // |S1| · |PD| membership tests against `targets`; adaptive probe keeps
+  // the quorum check linear-ish for large target sets.
+  const AdaptiveIdProbe probe(targets);
   std::size_t count = 0;
   for (ProcessId i : s1) {
     const IdSet* pd = pd_of(i);
     if (pd == nullptr) continue;
     for (ProcessId t : *pd) {
-      if (targets.contains(t)) {
+      if (probe.contains(t)) {
         ++count;
         break;
       }

@@ -2,12 +2,36 @@
 
 #include <algorithm>
 #include <bit>
+#include <set>
 
+#include "common/fnv.hpp"
 #include "common/logging.hpp"
+#include "common/random.hpp"
 #include "protocol/eval_cache.hpp"
 
 namespace bftcup::protocol {
 namespace {
+
+/// The structured strategy's full C \ D combination sweep stops here; the
+/// exhaustive strategy stops at its (clamped <= 63) subset-mask cap. Both
+/// hand larger components to enumerate_big_scc.
+constexpr std::size_t kStructuredEnumerationCap = 63;
+
+thread_local std::uint64_t t_big_scc_fallbacks = 0;
+thread_local bool t_big_scc_warned = false;
+
+/// Counts an oversized component and logs the fallback warning once per
+/// run (reset_big_scc_fallbacks re-arms it) — a large-n run hits this once
+/// per evaluation per big component, which used to flood the log.
+void note_big_scc_fallback(std::size_t scc_size, std::size_t cap) {
+  ++t_big_scc_fallbacks;
+  if (t_big_scc_warned) return;
+  t_big_scc_warned = true;
+  LOG_WARN("sink_search") << "SCC of size " << scc_size
+                          << " exceeds enumeration cap " << cap
+                          << "; certifying via the sampled structured path"
+                          << " (logged once per run)";
+}
 
 /// Appends every admissible split of `s1` as a candidate. Shared by the cold
 /// and incremental paths; `scratch` (optional) routes the split computation
@@ -166,17 +190,60 @@ std::vector<SinkCandidate> incremental_candidates(const KnowledgeView& view,
   return out;
 }
 
-bool skip_oversized(const IdSet& scc, std::size_t cap) {
-  if (scc.size() <= cap) return false;
-  LOG_WARN("sink_search") << "SCC of size " << scc.size()
-                          << " exceeds exhaustive cap " << cap << "; skipping";
-  return true;
+/// Big-SCC certification: components too large to enumerate are *certified
+/// or refuted* instead of skipped. The component C itself is always
+/// evaluated — its κ runs through the connectivity early-exits
+/// (complete-graph closed form, degree bound, pivot flows), so a genuine
+/// sink component of any size certifies and a κ-deficient one refutes
+/// without touching 2^|C| subsets. Around C, seeded samples of C \ D
+/// probe the bounded-removal family the structured strategy would sweep.
+/// The RNG seed is FNV over the member ids: a pure function of the
+/// component, so replays, cross-thread runs, and the incremental cache all
+/// see the same candidate stream (and no ambient entropy enters — R2).
+void enumerate_big_scc(const KnowledgeView& view, EvalScratch* scratch,
+                       const IdSet& scc, std::size_t removal_cap,
+                       std::size_t samples, std::vector<SinkCandidate>& out) {
+  collect_candidates_for(view, scratch, scc, out);
+  if (samples == 0) return;
+
+  const auto& ids = scc.values();
+  const std::size_t n = ids.size();
+  const std::size_t cap = std::min(removal_cap, n - 1);
+
+  std::uint64_t seed = kFnvOffsetBasis;
+  for (ProcessId id : scc) seed = fnv1a_mix_u64(seed, id.raw());
+  Rng rng(seed);
+
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  std::vector<std::size_t> combo;
+  for (std::size_t d = 1; d <= cap; ++d) {
+    std::set<std::vector<std::size_t>> seen;
+    // A duplicate draw is wasted, not retried forever: the attempt budget
+    // keeps the path strictly bounded.
+    for (std::size_t attempt = 0;
+         attempt < samples * 4 && seen.size() < samples; ++attempt) {
+      // Partial Fisher–Yates: d distinct member indices.
+      for (std::size_t k = 0; k < d; ++k) {
+        const std::size_t j =
+            k + static_cast<std::size_t>(rng.next_below(n - k));
+        std::swap(pool[k], pool[j]);
+      }
+      combo.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(d));
+      std::sort(combo.begin(), combo.end());
+      if (!seen.insert(combo).second) continue;
+      IdSet s1 = scc;
+      for (std::size_t idx : combo) s1.erase(ids[idx]);
+      collect_candidates_for(view, scratch, s1, out);
+    }
+  }
 }
 
 std::string options_key(const char* name, const SearchOptions& options) {
   std::string key = name;
   key += "/cap=" + std::to_string(options.exhaustive_cap);
   key += "/rm=" + std::to_string(options.removal_cap);
+  key += "/bs=" + std::to_string(options.big_scc_samples);
   return key;
 }
 
@@ -204,7 +271,12 @@ std::vector<SinkCandidate> ExhaustiveSinkSearch::candidates(
   const auto enumerate = [this](const KnowledgeView& v, EvalScratch* scratch,
                                 const IdSet& scc,
                                 std::vector<SinkCandidate>& out) {
-    if (skip_oversized(scc, options_.exhaustive_cap)) return;
+    if (scc.size() > options_.exhaustive_cap) {
+      note_big_scc_fallback(scc.size(), options_.exhaustive_cap);
+      enumerate_big_scc(v, scratch, scc, options_.removal_cap,
+                        options_.big_scc_samples, out);
+      return;
+    }
     enumerate_exhaustive(v, scratch, scc, out);
   };
 
@@ -223,6 +295,12 @@ std::vector<SinkCandidate> StructuredSinkSearch::candidates(
   const auto enumerate = [this](const KnowledgeView& v, EvalScratch* scratch,
                                 const IdSet& scc,
                                 std::vector<SinkCandidate>& out) {
+    if (scc.size() > kStructuredEnumerationCap) {
+      note_big_scc_fallback(scc.size(), kStructuredEnumerationCap);
+      enumerate_big_scc(v, scratch, scc, options_.removal_cap,
+                        options_.big_scc_samples, out);
+      return;
+    }
     enumerate_structured(v, scratch, scc, options_.removal_cap, out);
   };
 
@@ -238,6 +316,13 @@ std::vector<SinkCandidate> StructuredSinkSearch::candidates(
 
 std::unique_ptr<SinkSearch> make_default_search() {
   return std::make_unique<ExhaustiveSinkSearch>();
+}
+
+std::uint64_t big_scc_fallbacks() { return t_big_scc_fallbacks; }
+
+void reset_big_scc_fallbacks() {
+  t_big_scc_fallbacks = 0;
+  t_big_scc_warned = false;
 }
 
 }  // namespace bftcup::protocol

@@ -6,7 +6,9 @@
 //
 //  * ExhaustiveSinkSearch — bitmask enumeration of subsets inside each SCC
 //    of the received-knowledge graph (any strongly connected S1 lies inside
-//    one SCC). Reference semantics; caps SCC size.
+//    one SCC). Reference semantics; SCCs above the cap take the big-SCC
+//    certification path (component + seeded C \ D samples) instead of
+//    being skipped.
 //  * StructuredSinkSearch — candidate S1s are SCCs of the received-knowledge
 //    graph plus bounded removals C \ D, |D| <= removal_cap. Polynomial for
 //    fixed cap; exploits that satisfying S1s are SCC-shaped (correct sink
@@ -45,13 +47,23 @@ struct SinkCandidate {
 };
 
 struct SearchOptions {
-  /// Exhaustive strategy: SCCs larger than this are skipped (with a warning)
-  /// rather than enumerated. Values >= 64 are clamped to 63 by the
-  /// strategies — a 64-bit subset mask cannot enumerate further, and the
-  /// unclamped shift would be undefined behavior.
+  /// Exhaustive strategy: SCCs larger than this take the big-SCC
+  /// certification path (see big_scc_samples) instead of being bitmask-
+  /// enumerated. Values >= 64 are clamped to 63 by the strategies — a
+  /// 64-bit subset mask cannot enumerate further, and the unclamped shift
+  /// would be undefined behavior.
   std::size_t exhaustive_cap = 16;
   /// Structured strategy: maximum |D| for C \ D candidates.
   std::size_t removal_cap = 3;
+  /// Big-SCC certification path (components beyond the strategy's
+  /// enumeration threshold — exhaustive_cap, or 63 for the structured
+  /// strategy's full combination sweep): the component C itself is always
+  /// evaluated (κ certification with the connectivity early-exits), then
+  /// this many seeded samples of C \ D per removal size up to removal_cap.
+  /// The sampling RNG is seeded from the component's member ids
+  /// (content-addressed, via src/common/random — cup_lint R2 clean), so
+  /// the candidate stream is a pure function of the view.
+  std::size_t big_scc_samples = 24;
   /// Reuse candidates of unchanged SCCs and memoized per-S1 splits across
   /// evaluations (see file comment). Results are bit-identical either way.
   bool incremental = true;
@@ -112,5 +124,13 @@ class StructuredSinkSearch final : public SinkSearch {
 /// Convenience: the default strategy used by nodes (exhaustive — every graph
 /// in the paper and in the test corpus has small components).
 [[nodiscard]] std::unique_ptr<SinkSearch> make_default_search();
+
+/// Components routed through the big-SCC certification path on this thread
+/// since the last reset (a simulator runs entirely on one thread;
+/// execute_scenario brackets each run with reset + read so RunReport can
+/// record the per-run figure). Resetting also re-arms the once-per-run
+/// rate limit of the fallback warning.
+[[nodiscard]] std::uint64_t big_scc_fallbacks();
+void reset_big_scc_fallbacks();
 
 }  // namespace bftcup::protocol

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "graph/connectivity.hpp"
 #include "graph/extended_osr.hpp"
 #include "graph/generators.hpp"
 #include "graph/osr.hpp"
+#include "graph/scc.hpp"
 
 namespace bftcup::graph::generators {
 namespace {
@@ -109,6 +113,96 @@ TEST(SplitBrainTest, BothHalvesTieAsSinks) {
   const ExtendedOsrReport r = check_extended_k_osr(sys.graph, 1);
   EXPECT_FALSE(r.satisfied);
 }
+
+class ScaleFamilyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScaleFamilyTest, CommitteeOfCommitteesStructure) {
+  Rng rng(GetParam());
+  HierarchyParams params;
+  params.total = 600;
+  const GeneratedSystem sys = committee_of_committees(params, rng);
+
+  EXPECT_GE(sys.graph.vertex_count(), params.total);
+  EXPECT_EQ(sys.faulty.size(), params.f);
+  EXPECT_TRUE(sys.faulty.is_subset_of(sys.sink));
+  EXPECT_EQ(sys.sink.size(), params.root_size);
+
+  // Sub-quadratic by construction: each non-root member emits at most
+  // 1 + parent_fanout edges, the root is the only clique.
+  const std::size_t n = sys.graph.vertex_count();
+  const std::size_t edge_budget =
+      params.root_size * (params.root_size - 1) +
+      n * (1 + params.parent_fanout);
+  EXPECT_LE(sys.graph.edge_count(), edge_budget);
+
+  // The root is the unique certifiable sink: it is the only SCC with
+  // κ >= f+1 (every other committee is a ring, κ = 1), checked via the
+  // omniscient predicate on the safe graph.
+  const Digraph safe = sys.graph.induced(
+      sys.graph.vertices().set_difference(sys.faulty));
+  const IdSet safe_root = sys.sink.set_difference(sys.faulty);
+  EXPECT_GE(strong_connectivity(safe.induced(safe_root)), params.f + 1);
+  // Every vertex reaches the root (discovery can always converge).
+  for (ProcessId v : safe.vertices()) {
+    EXPECT_TRUE(safe_root.is_subset_of(safe.reachable_from(v))) << v.raw();
+  }
+}
+
+TEST_P(ScaleFamilyTest, AdhocMeshStructure) {
+  Rng rng(GetParam() ^ 0x33);
+  AdhocMeshParams params;
+  params.total = 600;
+  const GeneratedSystem sys = adhoc_mesh(params, rng);
+
+  EXPECT_EQ(sys.graph.vertex_count(), params.total);
+  EXPECT_LE(sys.faulty.size(), params.f);
+  EXPECT_EQ(sys.sink.size(), params.sink_size);
+
+  const std::size_t edge_budget =
+      params.sink_size * (params.sink_size - 1) +
+      params.total *
+          std::max(params.fanout, params.f + 1 + params.byzantine_in_sink);
+  EXPECT_LE(sys.graph.edge_count(), edge_budget);
+
+  // Layered DAG periphery: every non-sink vertex is a singleton SCC, i.e.
+  // nothing outside the sink clique is on a directed cycle.
+  const Digraph safe = sys.graph.induced(
+      sys.graph.vertices().set_difference(sys.faulty));
+  const IdSet safe_sink = sys.sink.set_difference(sys.faulty);
+  EXPECT_GE(strong_connectivity(safe.induced(safe_sink)), params.f + 1);
+  for (const IdSet& scc : strongly_connected_components(safe).members) {
+    if (scc.size() > 1) EXPECT_EQ(scc, safe_sink);
+  }
+  for (ProcessId v : safe.vertices()) {
+    if (sys.sink.contains(v)) continue;
+    EXPECT_TRUE(safe_sink.is_subset_of(safe.reachable_from(v))) << v.raw();
+  }
+}
+
+TEST(ScaleFamilyTest, SameSeedSameSystem) {
+  for (int which = 0; which < 2; ++which) {
+    Rng rng_a(1234);
+    Rng rng_b(1234);
+    GeneratedSystem a, b;
+    if (which == 0) {
+      HierarchyParams params;
+      params.total = 300;
+      a = committee_of_committees(params, rng_a);
+      b = committee_of_committees(params, rng_b);
+    } else {
+      AdhocMeshParams params;
+      params.total = 300;
+      a = adhoc_mesh(params, rng_a);
+      b = adhoc_mesh(params, rng_b);
+    }
+    EXPECT_EQ(a.graph, b.graph);
+    EXPECT_EQ(a.faulty, b.faulty);
+    EXPECT_EQ(a.sink, b.sink);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScaleFamilyTest,
+                         ::testing::Values(1, 7, 42));
 
 }  // namespace
 }  // namespace bftcup::graph::generators

@@ -222,19 +222,27 @@ TEST(SearchOptionsTest, OversizedExhaustiveCapIsClampedNotUndefined) {
   EXPECT_EQ(huge.validated().exhaustive_cap, 63U);
 
   // A 70-member cycle is one big SCC. Un-clamped, enumeration would shift a
-  // 64-bit mask by 70 (UB) and then walk 2^70 subsets; clamped, the SCC is
-  // skipped and the search returns immediately.
+  // 64-bit mask by 70 (UB) and then walk 2^70 subsets; clamped, the SCC
+  // takes the big-SCC certification path: the component itself is evaluated
+  // (a 70-cycle has κ = 1, no outside edges, so exactly (C, ∅, g=0)) and
+  // every sampled C \ D is refuted (κ = 0 once the ring is broken).
   graph::Digraph cycle;
   for (std::uint64_t i = 1; i <= 70; ++i) {
     cycle.add_edge(p(i), p(i % 70 + 1));
   }
   const auto view = KnowledgeView::omniscient(cycle);
+  IdSet all;
+  for (std::uint64_t i = 1; i <= 70; ++i) all.insert(p(i));
   const ExhaustiveSinkSearch search(huge);
-  EXPECT_TRUE(search.candidates(view).empty());
+  const auto candidates = search.candidates(view);
+  ASSERT_EQ(candidates.size(), 1U);
+  EXPECT_EQ(candidates[0].s1, all);
+  EXPECT_TRUE(candidates[0].s2.empty());
+  EXPECT_EQ(candidates[0].g, 0U);
 
   SearchOptions cold = huge;
   cold.incremental = false;
-  EXPECT_TRUE(ExhaustiveSinkSearch(cold).candidates(view).empty());
+  EXPECT_EQ(ExhaustiveSinkSearch(cold).candidates(view), candidates);
 }
 
 TEST(RunReportCacheStatsTest, SurfacedAndExcludedFromDigest) {

@@ -51,7 +51,7 @@ TEST(ExhaustiveSearchTest, Fig2cFindsBothHalves) {
       has_candidate(candidates, IdSet{p(5), p(6), p(7), p(8)}, 1));
 }
 
-TEST(ExhaustiveSearchTest, RespectsSccCap) {
+TEST(ExhaustiveSearchTest, OversizedSccTakesCertificationPath) {
   graph::Digraph g;
   for (std::uint64_t a = 1; a <= 8; ++a) {
     for (std::uint64_t b = 1; b <= 8; ++b) {
@@ -59,9 +59,18 @@ TEST(ExhaustiveSearchTest, RespectsSccCap) {
     }
   }
   SearchOptions options;
-  options.exhaustive_cap = 4;  // K8's SCC exceeds the cap -> skipped
+  options.exhaustive_cap = 4;  // K8's SCC exceeds the cap -> big-SCC path
   const ExhaustiveSinkSearch search(options);
-  EXPECT_TRUE(search.candidates(KnowledgeView::omniscient(g)).empty());
+  const auto candidates = search.candidates(KnowledgeView::omniscient(g));
+  // The component itself is certified: K8 has κ = 7 and no outside edges,
+  // so (S1 = K8, S2 = ∅) is admissible up to g = (|S1|-1)/2 = 3.
+  IdSet all;
+  for (std::uint64_t a = 1; a <= 8; ++a) all.insert(p(a));
+  for (std::size_t g_val : {0U, 1U, 2U, 3U}) {
+    EXPECT_TRUE(has_candidate(candidates, all, g_val)) << "g=" << g_val;
+  }
+  // No subsets beyond the sampled C \ D family sneak in at higher g.
+  for (const SinkCandidate& c : candidates) EXPECT_LE(c.g, 3U);
 }
 
 TEST(StructuredSearchTest, FindsWholeSccCandidates) {

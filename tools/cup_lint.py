@@ -67,6 +67,9 @@ from typing import Any
 # Modules whose code feeds RunReport::digest(), trace records, or coverage
 # signatures. R1 fires only here; --report inventories containers here.
 DIGEST_PATH_MODULES = (
+    # The blocked-bitset kernels back membership probes inside candidate
+    # enumeration — their containers feed digest-visible iteration order.
+    "src/common/bitset64.hpp",
     "src/cup/runner.hpp",
     "src/cup/runner.cpp",
     "src/cup/batch_runner.hpp",
@@ -113,6 +116,11 @@ ORDERED_CONTAINERS = (
     "FlatMap",
     "FlatSet",
     "IdSet",
+    # Blocked bitsets iterate ascending (for_each_set) — ordered containers
+    # in the replay-determinism sense, like the FlatSet they can stand in for.
+    "BasicBitSet",
+    "BitSet",
+    "PmrBitSet",
 )
 
 MARKER_RE = re.compile(
