@@ -9,10 +9,7 @@
 #include <cstdio>
 #include <string>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
+#include "common/sys_resource.hpp"
 #include "cup/batch_runner.hpp"
 #include "graph/digraph.hpp"
 
@@ -32,24 +29,9 @@ inline double now_seconds() {
       .count();
 }
 
-/// Process peak resident set size in bytes (0 where getrusage is
-/// unavailable). A high-water mark, not a live figure: in a multi-leg bench
-/// run the legs must execute in ascending-memory order for per-leg readings
-/// to be attributable (bench_scale orders its n sweep ascending for exactly
-/// this reason).
-inline std::uint64_t peak_rss_bytes() {
-#if defined(__unix__) || defined(__APPLE__)
-  struct rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-#if defined(__APPLE__)
-  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
-#else
-  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
-#endif
-#else
-  return 0;
-#endif
-}
+/// Process peak RSS in bytes; see common/sys_resource.hpp (promoted there
+/// so BatchReport and tools can report memory without the bench harness).
+inline std::uint64_t peak_rss_bytes() { return bftcup::peak_rss_bytes(); }
 
 /// The membership/run-engine bench system: a complete core of
 /// `kShardedCoreSize` processes (the sink the search must find, small

@@ -1,0 +1,19 @@
+// Thin, portable wrappers over process resource accounting.
+//
+// Promoted out of bench/bench_util.hpp so non-bench consumers (BatchReport's
+// summary, tools) can report memory without pulling the bench harness in.
+#pragma once
+
+#include <cstdint>
+
+namespace bftcup {
+
+/// Process peak resident set size in bytes, 0 where getrusage is
+/// unavailable. ru_maxrss units differ by platform and are normalized here:
+/// Linux reports KiB, macOS reports bytes. A high-water mark, not a live
+/// figure — in a multi-leg bench run the legs must execute in
+/// ascending-memory order for per-leg readings to be attributable
+/// (bench_scale orders its n sweep ascending for exactly this reason).
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace bftcup

@@ -1,0 +1,166 @@
+#include "common/work_pool.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+namespace bftcup {
+namespace {
+
+thread_local bool t_in_task = false;
+thread_local WorkPool* t_current_pool = nullptr;
+
+}  // namespace
+
+WorkPool::WorkPool(std::size_t workers)
+    : workers_(std::max<std::size_t>(workers, 1)) {}
+
+WorkPool::~WorkPool() {
+  {
+    MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool WorkPool::in_task() {
+  return t_in_task;
+}
+
+void WorkPool::spawn_workers() {
+  if (!threads_.empty() || workers_ <= 1) return;
+  threads_.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void WorkPool::drain(std::size_t worker) {
+  std::size_t count;
+  std::size_t chunk;
+  const Task* task;
+  {
+    MutexLock lock(mutex_);
+    count = count_;
+    chunk = chunk_;
+    task = task_;
+  }
+  t_in_task = true;
+  for (;;) {
+    const std::size_t index =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t begin = index * chunk;
+    if (begin >= count) break;
+    const std::size_t end = std::min(count, begin + chunk);
+    try {
+      (*task)(begin, end, worker);
+      tasks_dispatched_.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      // Keep the error of the lowest chunk index so *which* exception
+      // surfaces does not depend on completion order. Remaining chunks
+      // still run — the dispatch always drains the whole index space.
+      MutexLock lock(mutex_);
+      if (!error_ || index < error_chunk_) {
+        error_ = std::current_exception();
+        error_chunk_ = index;
+      }
+    }
+  }
+  t_in_task = false;
+}
+
+void WorkPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      while (!stopping_ && generation_ == seen_generation) {
+        work_ready_.wait(mutex_);
+      }
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    drain(worker);
+    bool last = false;
+    {
+      MutexLock lock(mutex_);
+      last = --active_workers_ == 0;
+    }
+    if (last) work_done_.notify_all();
+  }
+}
+
+void WorkPool::run(std::size_t count, std::size_t chunk, const Task& task) {
+  if (t_in_task) {
+    throw std::logic_error(
+        "WorkPool: nested dispatch (run() from inside a task body)");
+  }
+  if (count == 0) return;
+  chunk = std::max<std::size_t>(chunk, 1);
+
+  spawn_workers();
+  {
+    MutexLock lock(mutex_);
+    task_ = &task;
+    count_ = count;
+    chunk_ = chunk;
+    error_ = nullptr;
+    error_chunk_ = 0;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    active_workers_ = threads_.size();
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  drain(0);  // the caller is worker 0
+
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    while (active_workers_ != 0) {
+      work_done_.wait(mutex_);
+    }
+    task_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+WorkPool* current_work_pool() {
+  return t_current_pool;
+}
+
+WorkPool* usable_work_pool() {
+  return t_in_task ? nullptr : t_current_pool;
+}
+
+namespace {
+
+/// Per-thread pool cache keyed by worker count: consecutive runs at the
+/// same parallel_eval setting reuse the spawned threads (the recycled-run
+/// engine's steady state). Thread exit joins the pools via the map's
+/// destructor.
+std::map<std::size_t, std::unique_ptr<WorkPool>>& thread_pool_cache() {
+  thread_local std::map<std::size_t, std::unique_ptr<WorkPool>> cache;
+  return cache;
+}
+
+}  // namespace
+
+WorkPoolScope::WorkPoolScope(std::size_t threads)
+    : pool_(nullptr), previous_(t_current_pool) {
+  if (threads == 0) return;
+  auto& slot = thread_pool_cache()[threads];
+  if (!slot) slot = std::make_unique<WorkPool>(threads);
+  pool_ = slot.get();
+  t_current_pool = pool_;
+}
+
+WorkPoolScope::~WorkPoolScope() {
+  if (pool_ != nullptr) t_current_pool = previous_;
+}
+
+}  // namespace bftcup

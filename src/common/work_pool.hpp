@@ -1,0 +1,141 @@
+// Deterministic fork-join worker pool for intra-run parallelism.
+//
+// The bit-replay contract (README "Determinism") forbids any execution
+// order from leaking into results, so this pool is built around one rule:
+// work is dispatched over an *index space*, and every effect of a task must
+// land either in a pre-sized slot addressed by its index or in worker-local
+// scratch that the caller merges in a fixed order after the join. Which
+// worker claims which chunk is dynamic (an atomic cursor — that is where
+// the load balancing comes from), but because no task output depends on
+// claim order, the reduction is byte-identical to a serial loop at any
+// worker count. cup_lint's R-series rules police the call sites: reducing
+// into a digest-path container in completion order is a lint error.
+//
+// Shape: the caller participates as worker 0, `workers - 1` threads are
+// spawned lazily on the first dispatch and parked on a condition variable
+// between dispatches. A dispatch is a barrier — run() returns only after
+// every chunk of [0, count) has executed. Exceptions propagate: the error
+// thrown by the lowest-indexed failing chunk is rethrown on the caller
+// (lowest-index, not first-to-fail, so *which* error surfaces is itself
+// deterministic). Nested dispatch — run() from inside a task — throws
+// std::logic_error instead of deadlocking; call sites that may execute
+// both inside and outside tasks use usable_work_pool(), which returns
+// nullptr inside a task so inner loops fall back to their serial form.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace bftcup {
+
+class WorkPool {
+ public:
+  /// Task body: process indices [begin, end) as worker `worker`
+  /// (0 = caller, 1..workers-1 = spawned threads). `worker` exists so a
+  /// body can address per-worker scratch slots; it must NOT otherwise
+  /// influence results.
+  using Task =
+      std::function<void(std::size_t begin, std::size_t end, std::size_t worker)>;
+
+  /// A pool of `workers` total workers (clamped to >= 1). `workers == 1`
+  /// spawns no threads: run() executes everything on the caller, through
+  /// the same chunked code path — the cheap way to exercise the parallel
+  /// plumbing serially.
+  explicit WorkPool(std::size_t workers);
+  ~WorkPool();
+
+  WorkPool(const WorkPool&) = delete;
+  WorkPool& operator=(const WorkPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+
+  /// Fork-join dispatch of indices [0, count) in chunks of `chunk`
+  /// (clamped to >= 1). Blocks until every chunk ran; rethrows the
+  /// lowest-chunk exception if any task threw. Throws std::logic_error on
+  /// nested dispatch (any pool, any thread currently inside a task).
+  void run(std::size_t count, std::size_t chunk, const Task& task);
+
+  /// Cumulative chunks executed by this pool over its lifetime (the
+  /// RunReport::eval_tasks_dispatched feed; counters there report deltas).
+  [[nodiscard]] std::uint64_t tasks_dispatched() const {
+    return tasks_dispatched_.load(std::memory_order_relaxed);
+  }
+
+  /// True while the calling thread is executing a task body (of any pool).
+  /// Dispatching in that state would deadlock the fork-join barrier, so
+  /// run() rejects it; nested parallel-capable code checks this first.
+  [[nodiscard]] static bool in_task();
+
+ private:
+  void spawn_workers();
+  void worker_loop(std::size_t worker);
+  /// Claims and executes chunks of the current dispatch as `worker`.
+  void drain(std::size_t worker);
+
+  const std::size_t workers_;
+
+  Mutex mutex_;
+  // Dispatch state, valid while a dispatch is in flight. `generation_`
+  // increments per dispatch; parked workers wake on the change.
+  const Task* task_ BFTCUP_GUARDED_BY(mutex_) = nullptr;
+  std::size_t count_ BFTCUP_GUARDED_BY(mutex_) = 0;
+  std::size_t chunk_ BFTCUP_GUARDED_BY(mutex_) = 1;
+  std::uint64_t generation_ BFTCUP_GUARDED_BY(mutex_) = 0;
+  std::size_t active_workers_ BFTCUP_GUARDED_BY(mutex_) = 0;
+  bool stopping_ BFTCUP_GUARDED_BY(mutex_) = false;
+  // First error by *chunk index* (not completion order).
+  std::exception_ptr error_ BFTCUP_GUARDED_BY(mutex_);
+  std::size_t error_chunk_ BFTCUP_GUARDED_BY(mutex_) = 0;
+
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<std::uint64_t> tasks_dispatched_{0};
+
+  // condition_variable_any waits directly on the annotated Mutex (it only
+  // needs BasicLockable); every guarded field above is still only touched
+  // under mutex_.
+  std::condition_variable_any work_ready_;
+  std::condition_variable_any work_done_;
+
+  std::vector<std::thread> threads_;  // spawned on first dispatch
+};
+
+/// The pool installed for the current thread's run, or nullptr (serial).
+/// Installed by WorkPoolScope (cup::detail::execute_scenario does this when
+/// Scenario::parallel_eval > 0); read by the membership kernel's fan-out
+/// sites via usable_work_pool().
+[[nodiscard]] WorkPool* current_work_pool();
+
+/// current_work_pool(), but nullptr when the calling thread is inside a
+/// task body — the guard that turns would-be nested dispatches into the
+/// serial fallback (e.g. κ pivot probes under a per-SCC fan-out).
+[[nodiscard]] WorkPool* usable_work_pool();
+
+/// RAII installation of a pool as current_work_pool() for this thread.
+/// `threads == 0` installs nothing (serial). Pools are cached per thread
+/// and per worker count, so consecutive runs at the same setting reuse the
+/// spawned threads (the recycled-run engine's steady state).
+class WorkPoolScope {
+ public:
+  explicit WorkPoolScope(std::size_t threads);
+  ~WorkPoolScope();
+
+  WorkPoolScope(const WorkPoolScope&) = delete;
+  WorkPoolScope& operator=(const WorkPoolScope&) = delete;
+
+  /// The installed pool (nullptr when threads was 0).
+  [[nodiscard]] WorkPool* pool() const { return pool_; }
+
+ private:
+  WorkPool* pool_;
+  WorkPool* previous_;
+};
+
+}  // namespace bftcup

@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/sys_resource.hpp"
 #include "common/thread_annotations.hpp"
 #include "cup/run_context.hpp"
 
@@ -96,6 +97,7 @@ RunRecord summarize(std::string scenario, std::uint64_t seed,
   record.sig_hits = report.signatures_cached;
   record.recycled = report.contexts_recycled;
   record.arena_peak = report.arena_bytes_peak;
+  record.peak_rss = peak_rss_bytes();
   record.digest = report.digest();
   return record;
 }
@@ -141,6 +143,7 @@ std::vector<ScenarioStats> BatchReport::scenarios() const {
     s.eval_hits_total += run.eval_hits;
     s.signatures_total += run.signatures;
     s.sig_hits_total += run.sig_hits;
+    s.peak_rss_max = std::max(s.peak_rss_max, run.peak_rss);
   }
   for (std::size_t i = 0; i < stats.size(); ++i) {
     auto& lat = latencies[i];
@@ -168,10 +171,15 @@ namespace {
 constexpr const char* kRunsCsvHeader =
     "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
     "delivered,bytes,value,evaluations,eval_hits,signatures,sig_hits,"
-    "recycled,arena_peak,digest";
+    "recycled,arena_peak,peak_rss,digest";
 
 // Earlier headers, still accepted on import (see from_runs_csv): the
-// pre-run-engine 16-column format and the pre-cache-counter 12-column one.
+// pre-peak-rss 18-column format, the pre-run-engine 16-column format, and
+// the pre-cache-counter 12-column one.
+constexpr const char* kRunEngineRunsCsvHeader =
+    "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
+    "delivered,bytes,value,evaluations,eval_hits,signatures,sig_hits,"
+    "recycled,arena_peak,digest";
 constexpr const char* kCacheCounterRunsCsvHeader =
     "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
     "delivered,bytes,value,evaluations,eval_hits,signatures,sig_hits,digest";
@@ -282,6 +290,7 @@ std::string BatchReport::runs_csv() const {
     out += ',' + std::to_string(r.sig_hits);
     out += ',' + std::to_string(r.recycled);
     out += ',' + std::to_string(r.arena_peak);
+    out += ',' + std::to_string(r.peak_rss);
     out += ',' + csv_field(r.digest);
     out += '\n';
   }
@@ -291,15 +300,17 @@ std::string BatchReport::runs_csv() const {
 BatchReport BatchReport::from_runs_csv(const std::string& csv) {
   std::vector<RunRecord> runs;
   bool header = true;
-  // 18 = current format; 16 = pre-run-engine; 12 = pre-cache-counter. Old
-  // formats stay accepted so persisted sweep outputs keep loading (absent
-  // counters read 0). Rows must match the arity their header announced — a
-  // mixed file is corrupt.
+  // 19 = current format; 18 = pre-peak-rss; 16 = pre-run-engine; 12 =
+  // pre-cache-counter. Old formats stay accepted so persisted sweep outputs
+  // keep loading (absent counters read 0). Rows must match the arity their
+  // header announced — a mixed file is corrupt.
   std::size_t expected_fields = 0;
   for (const std::string& line : split_csv_records(csv)) {
     if (line.empty()) continue;
     if (header) {
       if (line == kRunsCsvHeader) {
+        expected_fields = 19;
+      } else if (line == kRunEngineRunsCsvHeader) {
         expected_fields = 18;
       } else if (line == kCacheCounterRunsCsvHeader) {
         expected_fields = 16;
@@ -333,9 +344,12 @@ BatchReport BatchReport::from_runs_csv(const std::string& csv) {
       r.signatures = std::stoull(fields[13]);
       r.sig_hits = std::stoull(fields[14]);
     }
-    if (fields.size() == 18) {
+    if (fields.size() >= 18) {
       r.recycled = std::stoull(fields[15]);
       r.arena_peak = std::stoull(fields[16]);
+    }
+    if (fields.size() == 19) {
+      r.peak_rss = std::stoull(fields[17]);
     }
     r.digest = fields.back();
     runs.push_back(std::move(r));
@@ -348,7 +362,7 @@ std::string BatchReport::summary_csv() const {
       "scenario,runs,solved,pass_rate,agreement_violations,"
       "validity_violations,non_terminations,latency_min,latency_p50,"
       "latency_p99,latency_max,messages_total,bytes_total,evaluations_total,"
-      "eval_hits_total,signatures_total,sig_hits_total\n";
+      "eval_hits_total,signatures_total,sig_hits_total,peak_rss_max\n";
   for (const ScenarioStats& s : scenarios()) {
     char rate[32];
     std::snprintf(rate, sizeof(rate), "%.4f", s.pass_rate());
@@ -370,6 +384,7 @@ std::string BatchReport::summary_csv() const {
     out += ',' + std::to_string(s.eval_hits_total);
     out += ',' + std::to_string(s.signatures_total);
     out += ',' + std::to_string(s.sig_hits_total);
+    out += ',' + std::to_string(s.peak_rss_max);
     out += '\n';
   }
   return out;
@@ -428,6 +443,7 @@ std::string BatchReport::to_json() const {
     out += ",\"sig_hits\":" + std::to_string(r.sig_hits);
     out += ",\"recycled\":" + std::to_string(r.recycled);
     out += ",\"arena_peak\":" + std::to_string(r.arena_peak);
+    out += ",\"peak_rss\":" + std::to_string(r.peak_rss);
     out += ",\"digest\":\"" + json_escape(r.digest) + "\"}";
   }
   out += "]}";
@@ -622,6 +638,8 @@ BatchReport BatchReport::from_json(const std::string& json) {
           r.recycled = cursor.unsigned_integer();
         } else if (key == "arena_peak") {
           r.arena_peak = cursor.unsigned_integer();
+        } else if (key == "peak_rss") {
+          r.peak_rss = cursor.unsigned_integer();
         } else if (key == "digest") {
           r.digest = cursor.string();
         } else {
@@ -640,22 +658,24 @@ BatchReport BatchReport::from_json(const std::string& json) {
 
 void BatchReport::print_summary(std::FILE* out) const {
   std::fprintf(out,
-               "%-36s %5s %9s %7s %9s %9s %9s %12s %12s %9s %6s\n", "scenario",
-               "runs", "pass", "viol", "lat-min", "lat-p50", "lat-p99",
-               "messages", "bytes", "evals", "hit%");
+               "%-36s %5s %9s %7s %9s %9s %9s %12s %12s %9s %6s %8s\n",
+               "scenario", "runs", "pass", "viol", "lat-min", "lat-p50",
+               "lat-p99", "messages", "bytes", "evals", "hit%", "rss-MiB");
   for (const ScenarioStats& s : scenarios()) {
     const double hit_rate =
         s.evaluations_total == 0
             ? 0.0
             : 100.0 * static_cast<double>(s.eval_hits_total) /
                   static_cast<double>(s.evaluations_total);
+    const double rss_mib =
+        static_cast<double>(s.peak_rss_max) / (1024.0 * 1024.0);
     std::fprintf(out,
                  "%-36s %5zu %8.0f%% %7zu %9" PRId64 " %9" PRId64 " %9" PRId64
-                 " %12" PRIu64 " %12" PRIu64 " %9" PRIu64 " %5.0f%%\n",
+                 " %12" PRIu64 " %12" PRIu64 " %9" PRIu64 " %5.0f%% %8.1f\n",
                  s.scenario.c_str(), s.runs, 100.0 * s.pass_rate(),
                  s.agreement_violations + s.validity_violations, s.latency_min,
                  s.latency_p50, s.latency_p99, s.messages_total, s.bytes_total,
-                 s.evaluations_total, hit_rate);
+                 s.evaluations_total, hit_rate, rss_mib);
   }
 }
 

@@ -101,6 +101,12 @@ struct RunRecord {
   // Run-engine counters (RunReport::contexts_recycled / arena_bytes_peak).
   std::uint64_t recycled = 0;    ///< prior runs served by the context
   std::uint64_t arena_peak = 0;  ///< arena bytes high-water
+  /// Process peak RSS in bytes when this record was summarized
+  /// (common/sys_resource.hpp: ru_maxrss, normalized to bytes on every
+  /// platform). A process-wide high-water mark, not a per-run figure —
+  /// meaningful for the batch's memory ceiling, and excluded from the
+  /// digest like every other executing-context property.
+  std::uint64_t peak_rss = 0;
   std::string digest;            ///< RunReport::digest()
 
   friend bool operator==(const RunRecord&, const RunRecord&) = default;
@@ -131,6 +137,9 @@ struct ScenarioStats {
   std::uint64_t eval_hits_total = 0;
   std::uint64_t signatures_total = 0;
   std::uint64_t sig_hits_total = 0;
+  /// Highest RunRecord::peak_rss across the scenario's runs (bytes; the
+  /// process-wide high-water mark as of the scenario's last-summarized run).
+  std::uint64_t peak_rss_max = 0;
 
   [[nodiscard]] double pass_rate() const {
     return runs == 0 ? 0.0

@@ -2,6 +2,7 @@
 
 #include "adversary/behaviors.hpp"
 #include "common/hex.hpp"
+#include "common/work_pool.hpp"
 #include "crypto/sha256.hpp"
 #include "cup/cupft_node.hpp"
 #include "cup/naive_node.hpp"
@@ -90,6 +91,13 @@ RunReport execute_scenario(
   // Bracket the run so the per-thread fallback counter and its once-per-run
   // warning rate limit are scoped to this scenario.
   protocol::reset_big_scc_fallbacks();
+  // Install the intra-run pool for the whole run (README "Intra-run
+  // parallelism"); the membership kernel's fan-out sites pick it up via
+  // usable_work_pool(). Per-thread pools are cached across runs, so a
+  // recycled context at a fixed setting reuses its spawned threads.
+  const WorkPoolScope work_pool(scenario.parallel_eval);
+  const std::uint64_t tasks0 =
+      work_pool.pool() != nullptr ? work_pool.pool()->tasks_dispatched() : 0;
 
   if (scenario.make_policy) {
     simulator.set_delay_policy(scenario.make_policy());
@@ -180,8 +188,19 @@ RunReport execute_scenario(
     }
   }
 
+  // Semantically trace.all_decided(correct), evaluated after *every* event
+  // — which made the stop check itself an O(n)-per-event scan that
+  // dominated large-n profiles. Decisions only accrue during a run, so the
+  // scan can resume from the first still-undecided id: the cursor is
+  // monotone, total work is O(n) per run, and the condition flips at
+  // exactly the same event as the full scan.
   simulator.set_stop_condition(
-      [correct](const sim::Trace& trace) { return trace.all_decided(correct); });
+      [correct, cursor = std::size_t{0}](const sim::Trace& trace) mutable {
+        const auto& ids = correct.values();
+        const auto& decided = trace.decisions();
+        while (cursor < ids.size() && decided.contains(ids[cursor])) ++cursor;
+        return cursor == ids.size();
+      });
   simulator.run();
 
   const sim::Trace& trace = simulator.trace();
@@ -214,6 +233,10 @@ RunReport execute_scenario(
   report.signatures_verified = lookups - sig_hits;
   report.signatures_cached = sig_hits;
   report.big_scc_fallbacks = protocol::big_scc_fallbacks();
+  report.eval_tasks_dispatched =
+      work_pool.pool() != nullptr
+          ? work_pool.pool()->tasks_dispatched() - tasks0
+          : 0;
 
   // Validity: every decided value was somebody's proposal.
   for (const auto& [who, decision] : report.decisions) {

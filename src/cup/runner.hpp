@@ -75,6 +75,13 @@ struct Scenario {
   /// Back the run's hot allocations (trace records, node scratch, pending
   /// buffers) with the context's bump arena. Off uses the plain heap.
   bool arena = true;
+  /// Intra-run parallel membership evaluation (README "Intra-run
+  /// parallelism"): worker count for the WorkPool the run installs around
+  /// execute_scenario. 0 (default) or 1 = serial. Like every knob in this
+  /// block, the setting leaves run digests bit-identical — the pool's
+  /// index-addressed dispatch contract guarantees it, and the
+  /// parallel==serial property suite replays the corpus to assert it.
+  std::size_t parallel_eval = 0;
 };
 
 struct RunReport {
@@ -118,6 +125,12 @@ struct RunReport {
   /// from exhaustive to certify-plus-sample.
   // cup-lint: digest-excluded(diagnostic counter, behavior-neutral)
   std::uint64_t big_scc_fallbacks = 0;
+  /// WorkPool chunks executed for this run (0 when parallel_eval <= 1) — a
+  /// utilization diagnostic for the intra-run parallel kernel. Excluded
+  /// from digest(): it describes how the work was *scheduled*, which the
+  /// determinism contract requires to be invisible in results.
+  // cup-lint: digest-excluded(scheduling diagnostic, thread-count-varying)
+  std::uint64_t eval_tasks_dispatched = 0;
   std::map<ProcessId, sim::Decision> decisions;
   std::map<ProcessId, IdSet> memberships;
   std::map<ProcessId, SimTime> membership_times;

@@ -197,6 +197,11 @@ ScenarioBuilder& ScenarioBuilder::arena(bool enabled) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::parallel_eval(std::size_t threads) {
+  scenario_.parallel_eval = threads;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::allow_premise_violation(bool allowed) {
   allow_premise_violation_ = allowed;
   return *this;

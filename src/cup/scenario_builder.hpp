@@ -119,6 +119,10 @@ class ScenarioBuilder {
   ScenarioBuilder& context_pooling(bool enabled = true);
   /// Back the run's hot allocations with the context's bump arena.
   ScenarioBuilder& arena(bool enabled = true);
+  /// Intra-run parallel membership evaluation: worker count for the run's
+  /// WorkPool (0 = serial, the default). Digest-neutral at any setting —
+  /// the parallel==serial property suite replays the corpus to assert it.
+  ScenarioBuilder& parallel_eval(std::size_t threads);
 
   /// Witness scenarios (fig. 1a, Theorem 7) intentionally violate the
   /// protocol premise |faulty| <= f; they must say so explicitly.

@@ -247,6 +247,7 @@ RunRecord behavior_of(RunRecord r) {
   r.sig_hits = 0;
   r.recycled = 0;
   r.arena_peak = 0;
+  r.peak_rss = 0;  // process-wide high-water mark, grows monotonically
   return r;
 }
 

@@ -1,0 +1,30 @@
+// cup_lint fixture: R1 must fire — reducing parallel results in completion
+// order into a digest-path container. The worker pool's determinism
+// contract requires results to land in index-addressed slots merged by
+// index; collecting them keyed by completion instead makes the reduction
+// order depend on thread scheduling, and the hash-table walk that drains
+// it is exactly the nondeterministic step R1 polices.
+// Not compiled; scanned by `cup_lint.py --self-test tests/lint_corpus`.
+// cup-lint-expect: R1
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Candidate {
+  std::uint64_t id = 0;
+};
+
+struct CompletionLog {
+  // Keyed by "arrival ticket" handed out as tasks finish — scheduling
+  // order, not index order.
+  std::unordered_map<std::size_t, std::vector<Candidate>> by_completion;
+};
+
+std::vector<Candidate> reduce_results(const CompletionLog& log) {
+  std::vector<Candidate> digest_feed;
+  for (const auto& [ticket, produced] : log.by_completion) {
+    digest_feed.insert(digest_feed.end(), produced.begin(), produced.end());
+  }
+  return digest_feed;
+}

@@ -1,0 +1,195 @@
+// The deterministic fork-join pool (common/work_pool.hpp): chunk coverage,
+// slot-addressed results at any worker count, lowest-chunk exception
+// propagation, nested-dispatch rejection, and the WorkPoolScope install /
+// cache behavior the run engine relies on.
+#include "common/work_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bftcup {
+namespace {
+
+/// Per-index writes into a pre-sized slot vector — the canonical use.
+std::vector<std::size_t> squares_via_pool(std::size_t workers,
+                                          std::size_t count,
+                                          std::size_t chunk) {
+  WorkPool pool(workers);
+  std::vector<std::size_t> slots(count, 0);
+  pool.run(count, chunk,
+           [&](std::size_t begin, std::size_t end, std::size_t) {
+             for (std::size_t i = begin; i < end; ++i) slots[i] = i * i;
+           });
+  return slots;
+}
+
+TEST(WorkPoolTest, CoversEveryIndexExactlyOnce) {
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{64}, std::size_t{1000}}) {
+      for (std::size_t chunk : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                                std::size_t{64}, std::size_t{2000}}) {
+        WorkPool pool(workers);
+        std::vector<std::atomic<int>> hits(count);
+        pool.run(count, chunk,
+                 [&](std::size_t begin, std::size_t end, std::size_t) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     hits[i].fetch_add(1, std::memory_order_relaxed);
+                   }
+                 });
+        for (std::size_t i = 0; i < count; ++i) {
+          ASSERT_EQ(hits[i].load(), 1)
+              << "workers=" << workers << " count=" << count
+              << " chunk=" << chunk << " index=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(WorkPoolTest, SlotResultsAreIdenticalAtAnyWorkerCount) {
+  const std::vector<std::size_t> serial = squares_via_pool(1, 257, 10);
+  EXPECT_EQ(squares_via_pool(2, 257, 10), serial);
+  EXPECT_EQ(squares_via_pool(8, 257, 10), serial);
+  EXPECT_EQ(squares_via_pool(8, 257, 1), serial);
+  EXPECT_EQ(squares_via_pool(8, 257, 1000), serial);
+}
+
+TEST(WorkPoolTest, ZeroCountNeverInvokesTheTask) {
+  WorkPool pool(4);
+  std::atomic<int> calls{0};
+  pool.run(0, 16, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(pool.tasks_dispatched(), 0u);
+}
+
+TEST(WorkPoolTest, WorkerIndexStaysInRangeAndZeroIsTheCaller) {
+  WorkPool pool(3);
+  std::atomic<bool> in_range{true};
+  pool.run(100, 1, [&](std::size_t, std::size_t, std::size_t worker) {
+    if (worker >= 3) in_range.store(false);
+  });
+  EXPECT_TRUE(in_range.load());
+
+  // workers == 1: everything executes on the calling thread.
+  WorkPool serial(1);
+  const auto caller = std::this_thread::get_id();
+  bool all_on_caller = true;
+  serial.run(17, 4, [&](std::size_t, std::size_t, std::size_t worker) {
+    if (std::this_thread::get_id() != caller || worker != 0) {
+      all_on_caller = false;
+    }
+  });
+  EXPECT_TRUE(all_on_caller);
+}
+
+TEST(WorkPoolTest, TasksDispatchedCountsChunksCumulatively) {
+  WorkPool pool(2);
+  pool.run(10, 3, [](std::size_t, std::size_t, std::size_t) {});  // 4 chunks
+  EXPECT_EQ(pool.tasks_dispatched(), 4u);
+  pool.run(10, 5, [](std::size_t, std::size_t, std::size_t) {});  // +2
+  EXPECT_EQ(pool.tasks_dispatched(), 6u);
+}
+
+TEST(WorkPoolTest, LowestChunkExceptionWinsDeterministically) {
+  // Several chunks throw; which error surfaces must not depend on
+  // completion order, so the lowest chunk index wins at every worker count.
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    WorkPool pool(workers);
+    try {
+      pool.run(64, 1, [](std::size_t begin, std::size_t, std::size_t) {
+        if (begin % 2 == 1) {
+          throw std::runtime_error("chunk " + std::to_string(begin));
+        }
+      });
+      FAIL() << "expected the dispatch to rethrow";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "chunk 1") << "workers=" << workers;
+    }
+  }
+}
+
+TEST(WorkPoolTest, PoolStaysUsableAfterAnException) {
+  WorkPool pool(4);
+  EXPECT_THROW(pool.run(8, 1,
+                        [](std::size_t, std::size_t, std::size_t) {
+                          throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  std::atomic<std::size_t> sum{0};
+  pool.run(8, 1, [&](std::size_t begin, std::size_t, std::size_t) {
+    sum.fetch_add(begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 28u);
+}
+
+TEST(WorkPoolTest, NestedDispatchIsRejectedNotDeadlocked) {
+  WorkPool pool(2);
+  EXPECT_THROW(
+      pool.run(4, 1,
+               [&](std::size_t, std::size_t, std::size_t) {
+                 pool.run(2, 1, [](std::size_t, std::size_t, std::size_t) {});
+               }),
+      std::logic_error);
+
+  // Dispatching a *different* pool from inside a task is equally a
+  // fork-join deadlock risk and equally rejected.
+  WorkPool other(2);
+  EXPECT_THROW(
+      pool.run(4, 1,
+               [&](std::size_t, std::size_t, std::size_t) {
+                 other.run(2, 1, [](std::size_t, std::size_t, std::size_t) {});
+               }),
+      std::logic_error);
+}
+
+TEST(WorkPoolTest, UsableWorkPoolIsNullInsideATask) {
+  const WorkPoolScope scope(2);
+  ASSERT_NE(scope.pool(), nullptr);
+  EXPECT_EQ(current_work_pool(), scope.pool());
+  EXPECT_EQ(usable_work_pool(), scope.pool());
+  std::atomic<bool> nested_sees_null{true};
+  scope.pool()->run(4, 1, [&](std::size_t, std::size_t, std::size_t) {
+    // Inside a task the pool is installed but not usable — parallel-capable
+    // inner loops must fall back to their serial form.
+    if (usable_work_pool() != nullptr) nested_sees_null.store(false);
+  });
+  EXPECT_TRUE(nested_sees_null.load());
+  EXPECT_EQ(usable_work_pool(), scope.pool());
+}
+
+TEST(WorkPoolScopeTest, ZeroInstallsNothingAndScopesRestore) {
+  EXPECT_EQ(current_work_pool(), nullptr);
+  {
+    const WorkPoolScope none(0);
+    EXPECT_EQ(none.pool(), nullptr);
+    EXPECT_EQ(current_work_pool(), nullptr);
+    {
+      const WorkPoolScope two(2);
+      EXPECT_EQ(two.pool()->workers(), 2u);
+      EXPECT_EQ(current_work_pool(), two.pool());
+    }
+    EXPECT_EQ(current_work_pool(), nullptr);
+  }
+  EXPECT_EQ(current_work_pool(), nullptr);
+}
+
+TEST(WorkPoolScopeTest, PoolsAreCachedPerThreadAndWorkerCount) {
+  WorkPool* first = nullptr;
+  {
+    const WorkPoolScope scope(3);
+    first = scope.pool();
+  }
+  const WorkPoolScope again(3);
+  // Consecutive runs at the same setting reuse the spawned threads — the
+  // recycled-run-engine steady state.
+  EXPECT_EQ(again.pool(), first);
+}
+
+}  // namespace
+}  // namespace bftcup

@@ -5,6 +5,13 @@
 //   cup_explore --replay '<line>'       replay a one-line genome artifact
 //   cup_explore --scenario NAME [--seed N]
 //                                       replay a registry scenario by name
+//   cup_explore --digests TAG [--seed N] [--parallel-eval N]
+//                                       one `name digest` line per registry
+//                                       scenario carrying TAG (repeatable).
+//                                       The CI parallel-determinism gate
+//                                       diffs this output across
+//                                       --parallel-eval settings: any
+//                                       difference is a determinism bug.
 //   cup_explore --smoke                 CI gate: fixed tiny budget; asserts
 //                                       the planted bridge-hiding family is
 //                                       rediscovered and every finding
@@ -38,8 +45,9 @@ int usage(const char* argv0) {
                "          [--corpus-out FILE] [--findings-out FILE]\n"
                "       %s --replay '<genome line>'\n"
                "       %s --scenario NAME [--seed N]\n"
+               "       %s --digests TAG [--seed N] [--parallel-eval N]\n"
                "       %s --smoke\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -64,6 +72,31 @@ int replay(const std::string& line) {
     return 2;
   }
   print_report(*genome, cup::run_scenario(genome->to_builder().build()));
+  return 0;
+}
+
+/// One `name digest` line per registry scenario carrying any of `tags`.
+/// Digests must be invariant under `parallel_eval` (the WorkPool contract);
+/// the CI gate runs this at two thread counts and diffs the outputs.
+int digests_for_tags(const std::vector<std::string>& tags, std::uint64_t seed,
+                     std::size_t parallel_eval) {
+  const auto& registry = cup::ScenarioRegistry::paper();
+  std::vector<std::string> names;
+  for (const std::string& tag : tags) {
+    for (std::string& name : registry.names_with_tag(tag)) {
+      names.push_back(std::move(name));
+    }
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "cup_explore: no registry scenario carries the "
+                         "requested tag(s)\n");
+    return 2;
+  }
+  for (const std::string& name : names) {
+    const cup::RunReport report = cup::run_scenario(
+        registry.builder(name, seed).parallel_eval(parallel_eval).build());
+    std::printf("%s %s\n", name.c_str(), report.digest().c_str());
+  }
   return 0;
 }
 
@@ -171,7 +204,9 @@ int main(int argc, char** argv) {
   std::string findings_out;
   std::string replay_line;
   std::string scenario_name;
+  std::vector<std::string> digest_tags;
   std::uint64_t scenario_seed = 1;
+  std::uint64_t parallel_eval = 0;
   bool want_smoke = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -191,6 +226,10 @@ int main(int argc, char** argv) {
       replay_line = argv[++i];
     } else if (arg == "--scenario" && i + 1 < argc) {
       scenario_name = argv[++i];
+    } else if (arg == "--digests" && i + 1 < argc) {
+      digest_tags.emplace_back(argv[++i]);
+    } else if (arg == "--parallel-eval" && next_value(value)) {
+      parallel_eval = value;
     } else if (arg == "--seed" && next_value(value)) {
       scenario_seed = value;
     } else if (arg == "--master-seed" && next_value(value)) {
@@ -216,6 +255,9 @@ int main(int argc, char** argv) {
 
   if (want_smoke) return smoke(options);
   if (!replay_line.empty()) return replay(replay_line);
+  if (!digest_tags.empty()) {
+    return digests_for_tags(digest_tags, scenario_seed, parallel_eval);
+  }
   if (!scenario_name.empty()) {
     return run_scenario_by_name(scenario_name, scenario_seed);
   }
