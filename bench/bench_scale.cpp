@@ -40,6 +40,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -312,8 +313,15 @@ void write_json(const std::string& path, const std::vector<Result>& results) {
       std::fprintf(f, ", \"speedup_vs_scalar\": %.3f", r.speedup_vs_scalar);
     }
     if (r.threads > 0) {
-      std::fprintf(f, ", \"threads\": %zu, \"parallel_speedup\": %.3f",
-                   r.threads, r.parallel_speedup);
+      // host_cpus records the recording machine's core count next to every
+      // threads-axis row: check_bench_regression.py skips the
+      // parallel_speedup gate when a baseline was recorded single-core
+      // (its speedups near-or-below 1.0 say nothing about the kernel).
+      std::fprintf(f,
+                   ", \"threads\": %zu, \"parallel_speedup\": %.3f, "
+                   "\"host_cpus\": %u",
+                   r.threads, r.parallel_speedup,
+                   std::max(1u, std::thread::hardware_concurrency()));
     }
     if (r.peak_rss > 0) {
       std::fprintf(f, ", \"peak_rss_mb\": %.1f, \"big_scc_fallbacks\": %llu",

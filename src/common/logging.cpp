@@ -29,6 +29,27 @@ std::string_view level_name(LogLevel level) {
 
 Logger::Logger() : sink_(&std::cerr) {}
 
+LogCapture*& Logger::thread_capture() {
+  thread_local LogCapture* capture = nullptr;
+  return capture;
+}
+
+LogCapture::LogCapture() : previous_(Logger::thread_capture()) {
+  Logger::thread_capture() = this;
+}
+
+LogCapture::~LogCapture() {
+  Logger::thread_capture() = previous_;
+}
+
+std::size_t LogCapture::count_containing(std::string_view needle) const {
+  std::size_t n = 0;
+  for (const std::string& line : lines_) {
+    if (line.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
@@ -44,6 +65,20 @@ void Logger::set_sink(std::ostream* sink) {
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view message) {
   if (!enabled(level)) return;
+  // Thread-local capture seam: diverts this thread's lines before the
+  // shared sink is ever involved, so no lock and no global state.
+  if (LogCapture* capture = thread_capture(); capture != nullptr) {
+    std::string line;
+    line.reserve(component.size() + message.size() + 16);
+    line += "[";
+    line += level_name(level);
+    line += "] ";
+    line += component;
+    line += ": ";
+    line += message;
+    capture->append(std::move(line));
+    return;
+  }
   // The sink is shared by every simulator; BatchRunner runs them on a pool.
   MutexLock lock(mutex_);
   if (sink_ == nullptr) return;

@@ -13,13 +13,48 @@
 #include <atomic>
 #include <ostream>
 #include <sstream>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/thread_annotations.hpp"
 
 namespace bftcup {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Run-scoped log capture: while one is alive, the constructing thread's
+/// log lines are diverted into it instead of the shared sink. A pure
+/// thread-local seam — installing one never touches the global Logger
+/// state, so a test capturing its own run's warnings cannot race another
+/// worker logging through the real sink (the flaw of swapping the sink).
+/// Captures nest; the innermost wins and the previous one is restored on
+/// destruction. The level gate still applies: only lines the Logger would
+/// have emitted are captured.
+class LogCapture {
+ public:
+  LogCapture();
+  ~LogCapture();
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  /// Captured lines, formatted exactly as the sink would have printed them
+  /// (sans trailing newline), in emission order.
+  [[nodiscard]] const std::vector<std::string>& lines() const {
+    return lines_;
+  }
+
+  /// Lines containing `needle` — the assertion helper tests want.
+  [[nodiscard]] std::size_t count_containing(std::string_view needle) const;
+
+ private:
+  friend class Logger;
+
+  void append(std::string line) { lines_.push_back(std::move(line)); }
+
+  LogCapture* previous_;
+  std::vector<std::string> lines_;
+};
 
 class Logger {
  public:
@@ -43,6 +78,11 @@ class Logger {
 
  private:
   Logger();
+
+  /// The calling thread's innermost LogCapture, or nullptr. Thread-local,
+  /// so reading it needs no lock.
+  static LogCapture*& thread_capture();
+  friend class LogCapture;
 
   mutable Mutex mutex_;
   std::atomic<LogLevel> level_{LogLevel::kWarn};

@@ -5,6 +5,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/span_tracer.hpp"
+
 namespace bftcup {
 namespace {
 
@@ -100,6 +102,12 @@ void WorkPool::run(std::size_t count, std::size_t chunk, const Task& task) {
   if (count == 0) return;
   chunk = std::max<std::size_t>(chunk, 1);
 
+  // run() is only ever entered from the run's own thread (nested dispatch
+  // throws above), so the spans land in that thread's flight recorder.
+  // The dispatch span covers worker wake-up plus the caller's own chunk
+  // drain; the join span isolates the tail wait for the last worker.
+  const obs::ScopedSpan dispatch_span("workpool.dispatch", count);
+
   spawn_workers();
   {
     MutexLock lock(mutex_);
@@ -118,6 +126,7 @@ void WorkPool::run(std::size_t count, std::size_t chunk, const Task& task) {
 
   std::exception_ptr error;
   {
+    const obs::ScopedSpan join_span("workpool.join");
     MutexLock lock(mutex_);
     while (active_workers_ != 0) {
       work_done_.wait(mutex_);

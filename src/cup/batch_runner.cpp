@@ -102,6 +102,12 @@ RunRecord summarize(std::string scenario, std::uint64_t seed,
   return record;
 }
 
+obs::MetricsSnapshot merge_run_metrics(const std::vector<RunReport>& reports) {
+  obs::MetricsSnapshot total;
+  for (const RunReport& report : reports) total.merge(report.metrics);
+  return total;
+}
+
 // ---------------------------------------------------------- BatchReport ----
 
 namespace {

@@ -116,6 +116,15 @@ struct RunRecord {
 [[nodiscard]] RunRecord summarize(std::string scenario, std::uint64_t seed,
                                   const RunReport& report);
 
+/// Batch-level aggregation of per-run metrics snapshots (RunReport::metrics,
+/// src/obs/metrics.hpp): counters and histogram buckets add, gauges keep
+/// their maximum. Both operations are commutative and associative, so a
+/// pooled batch and its serial replay merge to identical totals for every
+/// placement-independent metric — the obs analogue of the cache-counter
+/// sums batch_runner_test already pins.
+[[nodiscard]] obs::MetricsSnapshot merge_run_metrics(
+    const std::vector<RunReport>& reports);
+
 /// Per-scenario aggregate over a batch.
 struct ScenarioStats {
   std::string scenario;

@@ -39,9 +39,15 @@ RunReport RunContext::run(const Scenario& scenario) {
   }
 
   RunReport report =
-      detail::execute_scenario(scenario, *simulator_, eval_cache_);
+      detail::execute_scenario(scenario, *simulator_, eval_cache_, &metrics_);
   report.contexts_recycled = recycled;
   report.arena_bytes_peak = scenario.arena ? arena_.bytes_high_water() : 0;
+  if (scenario.metrics) {
+    // Post-run gauges, mirroring the fields above (see run_scenario).
+    report.metrics.set_gauge("engine.arena_bytes_peak",
+                             report.arena_bytes_peak);
+    report.metrics.set_gauge("engine.contexts_recycled", recycled);
+  }
   ++runs_;
   return report;
 }

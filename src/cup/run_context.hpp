@@ -37,6 +37,7 @@
 
 #include "crypto/keyring_cache.hpp"
 #include "cup/runner.hpp"
+#include "obs/metrics.hpp"
 #include "sim/run_arena.hpp"
 
 namespace bftcup::cup {
@@ -59,6 +60,14 @@ class RunContext {
   /// Completed runs, including delegated fresh ones.
   [[nodiscard]] std::uint64_t runs_executed() const { return runs_; }
 
+  /// The context's cumulative metrics registry (src/obs/metrics.hpp):
+  /// every pooled run on this context accumulates into it, and each run's
+  /// RunReport::metrics is its per-run delta — the same cumulative/delta
+  /// convention as the cross-run caches. Thread-confined with the context.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
  private:
   /// Entry caps for the cross-run memos: crossing one empties that memo
   /// (capacity and gate statistics are kept). A bound on footprint for
@@ -70,6 +79,7 @@ class RunContext {
 
   sim::RunArena arena_;
   crypto::KeyringCache keyring_;
+  obs::MetricsRegistry metrics_;
   std::shared_ptr<protocol::SharedEvalCache> eval_cache_;
   std::unique_ptr<sim::Simulator> simulator_;  ///< created on first run
   std::uint64_t recycled_ = 0;  ///< pooled runs served by simulator_

@@ -2,6 +2,7 @@
 
 #include "adversary/behaviors.hpp"
 #include "common/hex.hpp"
+#include "common/sys_resource.hpp"
 #include "common/work_pool.hpp"
 #include "crypto/sha256.hpp"
 #include "cup/cupft_node.hpp"
@@ -84,7 +85,8 @@ sim::Simulator::Options sim_options_for(const Scenario& scenario) {
 
 RunReport execute_scenario(
     const Scenario& scenario, sim::Simulator& simulator,
-    const std::shared_ptr<protocol::SharedEvalCache>& eval_cache) {
+    const std::shared_ptr<protocol::SharedEvalCache>& eval_cache,
+    obs::MetricsRegistry* metrics) {
   // Cross-run caches are cumulative; report deltas against entry.
   const protocol::SharedEvalCache::Stats eval_stats0 = eval_cache->stats();
   const crypto::VerifyCache::Stats verify_stats0 = simulator.verify_stats();
@@ -98,6 +100,28 @@ RunReport execute_scenario(
   const WorkPoolScope work_pool(scenario.parallel_eval);
   const std::uint64_t tasks0 =
       work_pool.pool() != nullptr ? work_pool.pool()->tasks_dispatched() : 0;
+
+  // Observability scope (README "Observability"), installed thread-locally
+  // like the work pool above. The registry is the caller's cumulative one
+  // (RunContext) or a run-local stand-in; either way the report carries the
+  // per-run delta. The tracer is always per-run: a flight recorder whose
+  // ring dies with the report it fills.
+  obs::MetricsRegistry local_metrics;
+  obs::MetricsRegistry* registry =
+      scenario.metrics ? (metrics != nullptr ? metrics : &local_metrics)
+                       : nullptr;
+  const obs::MetricsSnapshot metrics0 =
+      registry != nullptr ? registry->snapshot() : obs::MetricsSnapshot{};
+  std::unique_ptr<obs::SpanTracer> tracer;
+  if (scenario.trace_capacity > 0) {
+    tracer = std::make_unique<obs::SpanTracer>(scenario.trace_capacity);
+    tracer->set_sim_clock(
+        [](const void* ctx) {
+          return static_cast<const sim::Simulator*>(ctx)->now();
+        },
+        &simulator);
+  }
+  const obs::ObsScope obs_scope(registry, tracer.get());
 
   if (scenario.make_policy) {
     simulator.set_delay_policy(scenario.make_policy());
@@ -201,7 +225,10 @@ RunReport execute_scenario(
         while (cursor < ids.size() && decided.contains(ids[cursor])) ++cursor;
         return cursor == ids.size();
       });
-  simulator.run();
+  {
+    const obs::ScopedSpan run_span("run.execute");
+    simulator.run();
+  }
 
   const sim::Trace& trace = simulator.trace();
   RunReport report;
@@ -225,18 +252,46 @@ RunReport execute_scenario(
   const std::uint64_t evals =
       eval_cache->stats().evaluations - eval_stats0.evaluations;
   const std::uint64_t eval_hits = eval_cache->stats().hits - eval_stats0.hits;
-  report.evaluations = evals;
-  report.eval_cache_hits = eval_hits;
   const auto& verify_stats = simulator.verify_stats();
   const std::uint64_t lookups = verify_stats.lookups - verify_stats0.lookups;
   const std::uint64_t sig_hits = verify_stats.hits - verify_stats0.hits;
-  report.signatures_verified = lookups - sig_hits;
-  report.signatures_cached = sig_hits;
-  report.big_scc_fallbacks = protocol::big_scc_fallbacks();
-  report.eval_tasks_dispatched =
+  const std::uint64_t fallbacks = protocol::big_scc_fallbacks();
+  const std::uint64_t tasks =
       work_pool.pool() != nullptr
           ? work_pool.pool()->tasks_dispatched() - tasks0
           : 0;
+  if (registry != nullptr) {
+    // Migrated counter plumbing: the registry is the carrier and the
+    // legacy report fields below mirror the snapshot's standard names, so
+    // the two can never drift apart while both exist.
+    registry->counter("eval.requested").add(evals);
+    registry->counter("eval.cache_hits").add(eval_hits);
+    registry->counter("sig.verified").add(lookups - sig_hits);
+    registry->counter("sig.cached").add(sig_hits);
+    registry->counter("engine.big_scc_fallbacks").add(fallbacks);
+    registry->counter("engine.eval_tasks_dispatched").add(tasks);
+    registry->gauge("proc.peak_rss_bytes").set_max(peak_rss_bytes());
+    report.metrics = obs::MetricsSnapshot::delta(metrics0,
+                                                 registry->snapshot());
+    report.evaluations = report.metrics.counter("eval.requested");
+    report.eval_cache_hits = report.metrics.counter("eval.cache_hits");
+    report.signatures_verified = report.metrics.counter("sig.verified");
+    report.signatures_cached = report.metrics.counter("sig.cached");
+    report.big_scc_fallbacks =
+        report.metrics.counter("engine.big_scc_fallbacks");
+    report.eval_tasks_dispatched =
+        report.metrics.counter("engine.eval_tasks_dispatched");
+  } else {
+    report.evaluations = evals;
+    report.eval_cache_hits = eval_hits;
+    report.signatures_verified = lookups - sig_hits;
+    report.signatures_cached = sig_hits;
+    report.big_scc_fallbacks = fallbacks;
+    report.eval_tasks_dispatched = tasks;
+  }
+  if (tracer != nullptr) {
+    report.spans = std::make_shared<const obs::SpanTrace>(tracer->take());
+  }
 
   // Validity: every decided value was somebody's proposal.
   for (const auto& [who, decision] : report.decisions) {
@@ -268,6 +323,14 @@ RunReport run_scenario(const Scenario& scenario) {
       std::make_shared<protocol::SharedEvalCache>(scenario.eval_cache);
   RunReport report = detail::execute_scenario(scenario, simulator, eval_cache);
   report.arena_bytes_peak = scenario.arena ? arena.bytes_high_water() : 0;
+  if (scenario.metrics) {
+    // Post-run gauges: values the run body cannot know (the arena's
+    // high-water is read after the report is built). Injected straight
+    // into the snapshot, same mirror discipline as the counters.
+    report.metrics.set_gauge("engine.arena_bytes_peak",
+                             report.arena_bytes_peak);
+    report.metrics.set_gauge("engine.contexts_recycled", 0);
+  }
   return report;
 }
 

@@ -13,6 +13,8 @@
 
 #include "cup/node_base.hpp"
 #include "graph/digraph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -82,6 +84,20 @@ struct Scenario {
   /// index-addressed dispatch contract guarantees it, and the
   /// parallel==serial property suite replays the corpus to assert it.
   std::size_t parallel_eval = 0;
+
+  // --- observability knobs (README "Observability"). Observation only:
+  // both leave run digests bit-identical at every parallel_eval setting —
+  // the obs determinism suite replays the corpus with them flipped and
+  // asserts it.
+  /// Collect the run's metrics delta into RunReport::metrics (counters /
+  /// gauges / histograms from src/obs/metrics.hpp). The legacy RunReport
+  /// counter fields are populated either way and hold identical values.
+  bool metrics = true;
+  /// Span flight-recorder capacity in records; 0 (default) disables
+  /// tracing entirely — no tracer is installed and span sites cost one
+  /// thread-local load. Nonzero attaches a SpanTracer over the run and
+  /// exports RunReport::spans (Chrome trace JSON via obs/trace_export.hpp).
+  std::size_t trace_capacity = 0;
 };
 
 struct RunReport {
@@ -131,6 +147,17 @@ struct RunReport {
   /// determinism contract requires to be invisible in results.
   // cup-lint: digest-excluded(scheduling diagnostic, thread-count-varying)
   std::uint64_t eval_tasks_dispatched = 0;
+  // Observability artifacts (src/obs/). Observation only, by the layer's
+  // determinism contract; cup_lint R3's obs clause rejects any obs:: field
+  // that reaches digest(), on top of the marker discipline below.
+  /// Per-run metrics delta (Scenario::metrics). The legacy counters above
+  /// are mirrors of this snapshot's standard names when it is collected.
+  // cup-lint: digest-excluded(observability snapshot, behavior-neutral by contract)
+  obs::MetricsSnapshot metrics;
+  /// Span flight-recorder contents when Scenario::trace_capacity > 0;
+  /// null otherwise. Shared so copies of the report stay cheap.
+  // cup-lint: digest-excluded(observability trace; wall-clock values differ every run)
+  std::shared_ptr<const obs::SpanTrace> spans;
   std::map<ProcessId, sim::Decision> decisions;
   std::map<ProcessId, IdSet> memberships;
   std::map<ProcessId, SimTime> membership_times;
@@ -163,10 +190,15 @@ namespace detail {
 /// constructed or reset for the scenario's sim options; `eval_cache`'s
 /// memo flag must match scenario.eval_cache. Counters in the report are
 /// deltas against the entry-time stats, so cumulative cross-run caches
-/// report per-run figures.
+/// report per-run figures. `metrics` optionally supplies the executing
+/// context's cumulative MetricsRegistry (RunContext passes its own, so
+/// registry contents persist across pooled runs); when null and
+/// scenario.metrics is set, a run-local registry is used — the reported
+/// delta is identical either way.
 [[nodiscard]] RunReport execute_scenario(
     const Scenario& scenario, sim::Simulator& simulator,
-    const std::shared_ptr<protocol::SharedEvalCache>& eval_cache);
+    const std::shared_ptr<protocol::SharedEvalCache>& eval_cache,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace detail
 

@@ -202,6 +202,21 @@ ScenarioBuilder& ScenarioBuilder::parallel_eval(std::size_t threads) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::tracing(bool enabled) {
+  scenario_.trace_capacity = enabled ? kDefaultTraceCapacity : 0;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::trace_capacity(std::size_t records) {
+  scenario_.trace_capacity = records;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::metrics(bool enabled) {
+  scenario_.metrics = enabled;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::allow_premise_violation(bool allowed) {
   allow_premise_violation_ = allowed;
   return *this;

@@ -124,6 +124,24 @@ class ScenarioBuilder {
   /// the parallel==serial property suite replays the corpus to assert it.
   ScenarioBuilder& parallel_eval(std::size_t threads);
 
+  // --- observability knobs (README "Observability"). Observation only:
+  // digest-neutral at every parallel_eval setting; the obs determinism
+  // suite replays the corpus with them flipped to assert it.
+
+  /// Span tracing over the run's hot layers: on installs a SpanTracer with
+  /// the default flight-recorder capacity and exports RunReport::spans.
+  ScenarioBuilder& tracing(bool enabled = true);
+  /// Explicit flight-recorder capacity in span records (0 = tracing off).
+  ScenarioBuilder& trace_capacity(std::size_t records);
+  /// Collect the run's metrics delta into RunReport::metrics. The legacy
+  /// RunReport counters are populated identically either way.
+  ScenarioBuilder& metrics(bool enabled = true);
+
+  /// Default flight-recorder capacity installed by tracing(true): deep
+  /// enough to hold every span of the registry scenarios, and a bounded
+  /// most-recent window (plus a drop count) for larger runs.
+  static constexpr std::size_t kDefaultTraceCapacity = 1u << 15;
+
   /// Witness scenarios (fig. 1a, Theorem 7) intentionally violate the
   /// protocol premise |faulty| <= f; they must say so explicitly.
   ScenarioBuilder& allow_premise_violation(bool allowed = true);

@@ -1,0 +1,123 @@
+#include "obs/span_tracer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace bftcup::obs {
+namespace {
+
+thread_local MetricsRegistry* t_metrics = nullptr;
+thread_local SpanTracer* t_tracer = nullptr;
+
+}  // namespace
+
+std::uint64_t wall_now_ns() {
+  // Wall time is export-only telemetry: it reaches Perfetto traces and the
+  // cup_trace summary, never a digest, a decision, or replayed state. This
+  // is the one audited call site; every span gets its timestamps here.
+  // cup-lint: rng-ok(export-only trace timestamp; never read back into any replayed path or digest)
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+SpanTracer::SpanTracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::uint32_t SpanTracer::intern(const char* name) {
+  // Literal pointers repeat per site, so the fast path is a pointer scan.
+  for (std::size_t i = 0; i < name_ptrs_.size(); ++i) {
+    if (name_ptrs_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  // Distinct literals with equal contents (rare) still deserve one id.
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      name_ptrs_[i] = name;
+      return static_cast<std::uint32_t>(i);
+    }
+  }
+  name_ptrs_.push_back(name);
+  names_.emplace_back(name);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+void SpanTracer::record(SpanRecord rec) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+  } else {
+    ring_[recorded_ % capacity_] = rec;
+  }
+  ++recorded_;
+}
+
+SpanTrace SpanTracer::take() {
+  SpanTrace trace;
+  trace.names = std::move(names_);
+  trace.dropped = dropped();
+  trace.started = seq_;
+  if (recorded_ <= capacity_) {
+    trace.records = std::move(ring_);
+  } else {
+    // Unroll the ring so records come out in write (completion) order.
+    trace.records.reserve(capacity_);
+    const std::size_t head = recorded_ % capacity_;
+    trace.records.insert(trace.records.end(), ring_.begin() + head,
+                         ring_.end());
+    trace.records.insert(trace.records.end(), ring_.begin(),
+                         ring_.begin() + head);
+  }
+  ring_.clear();
+  name_ptrs_.clear();
+  names_.clear();
+  recorded_ = 0;
+  seq_ = 0;
+  depth_ = 0;
+  return trace;
+}
+
+MetricsRegistry* current_metrics() {
+  return t_metrics;
+}
+
+SpanTracer* current_tracer() {
+  return t_tracer;
+}
+
+ObsScope::ObsScope(MetricsRegistry* metrics, SpanTracer* tracer)
+    : previous_metrics_(t_metrics), previous_tracer_(t_tracer) {
+  t_metrics = metrics;
+  t_tracer = tracer;
+}
+
+ObsScope::~ObsScope() {
+  t_metrics = previous_metrics_;
+  t_tracer = previous_tracer_;
+}
+
+void ScopedSpan::begin(const char* name, std::uint64_t arg) {
+  name_id_ = tracer_->intern(name);
+  depth_ = tracer_->depth_++;
+  seq_ = tracer_->seq_++;
+  arg_ = arg;
+  sim_begin_ = tracer_->sim_now();
+  wall_begin_ns_ = wall_now_ns();
+}
+
+void ScopedSpan::end() {
+  SpanRecord rec;
+  rec.name_id = name_id_;
+  rec.depth = depth_;
+  rec.seq = seq_;
+  rec.arg = arg_;
+  rec.sim_begin = sim_begin_;
+  rec.sim_end = tracer_->sim_now();
+  rec.wall_begin_ns = wall_begin_ns_;
+  rec.wall_end_ns = wall_now_ns();
+  --tracer_->depth_;
+  tracer_->record(rec);
+}
+
+}  // namespace bftcup::obs

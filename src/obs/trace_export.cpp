@@ -1,0 +1,115 @@
+#include "obs/trace_export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace bftcup::obs {
+namespace {
+
+/// JSON string escaping for span/process names. Names are ASCII literals
+/// today; escape defensively anyway so a future dynamic name cannot break
+/// the document.
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Nanoseconds -> the format's microsecond unit, keeping ns resolution as
+/// a three-decimal fraction (the viewers accept fractional ts/dur).
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const SpanTrace& trace,
+                                 std::string_view process_name) {
+  std::string out;
+  out.reserve(160 * trace.records.size() + 512);
+  out += "{\"traceEvents\":[";
+
+  // Track-naming metadata events (ph "M").
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+         "\"args\":{\"name\":";
+  append_json_string(out, process_name);
+  out += "}},";
+  out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+         "\"args\":{\"name\":\"run\"}}";
+
+  // Rebase wall times to the earliest span so ts values start near zero.
+  std::uint64_t origin = 0;
+  bool have_origin = false;
+  for (const SpanRecord& rec : trace.records) {
+    if (!have_origin || rec.wall_begin_ns < origin) {
+      origin = rec.wall_begin_ns;
+      have_origin = true;
+    }
+  }
+
+  for (const SpanRecord& rec : trace.records) {
+    out += ",{\"name\":";
+    append_json_string(out, rec.name_id < trace.names.size()
+                                ? std::string_view(trace.names[rec.name_id])
+                                : std::string_view("?"));
+    out += ",\"cat\":\"bftcup\",\"ph\":\"X\",\"ts\":";
+    append_us(out, rec.wall_begin_ns - origin);
+    out += ",\"dur\":";
+    append_us(out, rec.wall_end_ns >= rec.wall_begin_ns
+                       ? rec.wall_end_ns - rec.wall_begin_ns
+                       : 0);
+    out += ",\"pid\":1,\"tid\":1,\"args\":{\"sim_begin\":";
+    append_i64(out, rec.sim_begin);
+    out += ",\"sim_end\":";
+    append_i64(out, rec.sim_end);
+    out += ",\"seq\":";
+    append_u64(out, rec.seq);
+    out += ",\"depth\":";
+    append_u64(out, rec.depth);
+    out += ",\"arg\":";
+    append_u64(out, rec.arg);
+    out += "}}";
+  }
+
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"spans_started\":";
+  append_u64(out, trace.started);
+  out += ",\"spans_dropped\":";
+  append_u64(out, trace.dropped);
+  out += "}}";
+  return out;
+}
+
+}  // namespace bftcup::obs

@@ -1,0 +1,23 @@
+// Chrome trace-event JSON export for SpanTrace (README "Observability").
+//
+// Emits the `{"traceEvents": [...]}` object format with complete ("X")
+// events, loadable directly in Perfetto (ui.perfetto.dev) and the legacy
+// chrome://tracing viewer. Wall timestamps are rebased to the trace's
+// first span and scaled to the format's microsecond unit; the sim-time
+// window, nesting depth, start sequence and site argument ride along in
+// each event's `args`, so both clocks stay inspectable side by side.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/span_tracer.hpp"
+
+namespace bftcup::obs {
+
+/// Renders `trace` as a Chrome trace-event JSON document. `process_name`
+/// labels the (synthetic) process track, e.g. "fig1b seed=7".
+[[nodiscard]] std::string to_chrome_trace_json(const SpanTrace& trace,
+                                               std::string_view process_name);
+
+}  // namespace bftcup::obs

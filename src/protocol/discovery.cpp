@@ -1,5 +1,6 @@
 #include "protocol/discovery.hpp"
 
+#include "obs/span_tracer.hpp"
 #include "protocol/timer_epoch.hpp"
 
 namespace bftcup::protocol {
@@ -35,6 +36,7 @@ void Discovery::arm_timer(sim::Context& ctx) {
 
 void Discovery::request_all(sim::Context& ctx) {
   ++rounds_;
+  const obs::ScopedSpan span("discovery.round", rounds_);
   if (!request_) {
     msg::Message req;
     req.type = msg::MsgType::kGetPds;

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "obs/span_tracer.hpp"
+
 namespace bftcup::protocol {
 namespace {
 
@@ -66,6 +68,9 @@ void SharedEvalCache::record_probe(std::size_t view_size, bool hit) {
 
 const std::optional<SinkResult>* SharedEvalCache::find_sink(
     const EvalKeyView& key) const {
+  // The cache is thread-confined, so the probe runs on the run thread and
+  // the span stream is replay-stable at a fixed knob setting.
+  const obs::ScopedSpan span("eval.cache_probe");
   const auto it = sink_.find(key);
   return it == sink_.end() ? nullptr : &it->second;
 }
@@ -77,6 +82,7 @@ void SharedEvalCache::store_sink(const EvalKeyView& key,
 
 const std::optional<CoreResult>* SharedEvalCache::find_core(
     const EvalKeyView& key) const {
+  const obs::ScopedSpan span("eval.cache_probe");
   const auto it = core_.find(key);
   return it == core_.end() ? nullptr : &it->second;
 }

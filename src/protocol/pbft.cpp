@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "obs/span_tracer.hpp"
 #include "protocol/timer_epoch.hpp"
 
 namespace bftcup::protocol {
@@ -11,6 +12,27 @@ namespace {
 
 /// Cap on the exponential backoff shift so timeouts stay finite.
 constexpr std::uint32_t kMaxBackoffShift = 16;
+
+/// Span-site names for the consensus phases (nullptr = not a PBFT phase
+/// worth a span; ScopedSpan treats it as disabled).
+const char* pbft_span_name(msg::MsgType type) {
+  switch (type) {
+    case msg::MsgType::kPbftPrePrepare:
+      return "pbft.pre_prepare";
+    case msg::MsgType::kPbftPrepare:
+      return "pbft.prepare";
+    case msg::MsgType::kPbftCommit:
+      return "pbft.commit";
+    case msg::MsgType::kPbftViewChange:
+      return "pbft.view_change";
+    case msg::MsgType::kPbftNewView:
+      return "pbft.new_view";
+    case msg::MsgType::kPbftDecide:
+      return "pbft.decide";
+    default:
+      return nullptr;
+  }
+}
 
 }  // namespace
 
@@ -217,6 +239,10 @@ bool PbftInstance::handle_message(ProcessId from, const msg::Message& message,
           message.sig)) {
     return true;  // forged — drop
   }
+
+  // One span per handled phase message (sim+wall time over the handler,
+  // including any quorum progress it triggers); arg carries the view.
+  const obs::ScopedSpan span(pbft_span_name(message.type), message.view);
 
   switch (message.type) {
     case msg::MsgType::kPbftPrePrepare: {

@@ -8,6 +8,7 @@
 #include "common/logging.hpp"
 #include "common/random.hpp"
 #include "common/work_pool.hpp"
+#include "obs/span_tracer.hpp"
 #include "protocol/eval_cache.hpp"
 
 namespace bftcup::protocol {
@@ -489,8 +490,16 @@ std::vector<SinkCandidate> ExhaustiveSinkSearch::candidates(
   const auto enumerate = [this](const KnowledgeView& v, const EvalPads& pads,
                                 const IdSet& scc,
                                 std::vector<SinkCandidate>& out) {
+    // Observability: this lambda runs on the run's own thread (the
+    // parallel drivers fan out its *inner* loops), so the span and the
+    // SCC-size histogram are identical at every parallel_eval setting.
+    const obs::ScopedSpan span("membership.scc_eval", scc.size());
+    if (obs::MetricsRegistry* m = obs::current_metrics()) {
+      m->histogram("eval.scc_size").record(scc.size());
+    }
     if (scc.size() > options_.exhaustive_cap) {
       note_big_scc_fallback(scc.size(), options_.exhaustive_cap);
+      const obs::ScopedSpan certify("membership.big_scc_certify", scc.size());
       enumerate_big_scc(v, pads, scc, options_.removal_cap,
                         options_.big_scc_samples, out);
       return;
@@ -513,8 +522,14 @@ std::vector<SinkCandidate> StructuredSinkSearch::candidates(
   const auto enumerate = [this](const KnowledgeView& v, const EvalPads& pads,
                                 const IdSet& scc,
                                 std::vector<SinkCandidate>& out) {
+    // Run-thread only, like the exhaustive twin above (see its comment).
+    const obs::ScopedSpan span("membership.scc_eval", scc.size());
+    if (obs::MetricsRegistry* m = obs::current_metrics()) {
+      m->histogram("eval.scc_size").record(scc.size());
+    }
     if (scc.size() > kStructuredEnumerationCap) {
       note_big_scc_fallback(scc.size(), kStructuredEnumerationCap);
+      const obs::ScopedSpan certify("membership.big_scc_certify", scc.size());
       enumerate_big_scc(v, pads, scc, options_.removal_cap,
                         options_.big_scc_samples, out);
       return;

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "crypto/keyring_cache.hpp"
+#include "obs/span_tracer.hpp"
 
 namespace bftcup::sim {
 
@@ -261,6 +262,15 @@ void Simulator::apply_fault(const FaultAction& action) {
 }
 
 void Simulator::run() {
+  // Observability (README "Observability"): resolve the run's metrics
+  // observer once — the per-event cost below is a pointer null check when
+  // metrics are off, and the counter is bumped through the interned
+  // pointer, never a per-event name lookup. Pure observation: nothing read
+  // back, so dispatch order and results are untouched.
+  obs::MetricsRegistry* const metrics = obs::current_metrics();
+  obs::MetricsRegistry::Counter* const event_counter =
+      metrics != nullptr ? &metrics->counter("sim.events") : nullptr;
+
   started_ = true;
   table_.finalize();
   timeline_.reset_runtime();
@@ -282,8 +292,10 @@ void Simulator::run() {
     assert(ev.time >= now_);
     now_ = ev.time;
     if (now_ >= options_.horizon) break;
+    if (event_counter != nullptr) event_counter->add();
 
     if (ev.kind == Event::Kind::kFault) {
+      const obs::ScopedSpan span("sim.dispatch.fault");
       apply_fault(timeline_.actions()[ev.fault_index]);
       continue;  // fault actions never touch the trace; skip the stop check
     }
@@ -299,8 +311,10 @@ void Simulator::run() {
     Context ctx(this, ev.to);
     if (ev.kind == Event::Kind::kDelivery) {
       trace_->record_delivery();
+      const obs::ScopedSpan span("sim.dispatch.delivery", ev.to.raw());
       slot.process->on_message(ev.from, *ev.message, ctx);
     } else {
+      const obs::ScopedSpan span("sim.dispatch.timer", ev.to.raw());
       slot.process->on_timer(ev.timer_kind, ctx);
     }
     if (stop_ && stop_(*trace_)) break;

@@ -287,6 +287,63 @@ TEST(BatchRunnerTest, ParallelSweepMatchesSerialBitForBit) {
   }
 }
 
+TEST(BatchRunnerTest, MergedMetricsArePlacementIndependent) {
+  // The obs analogue of the cache-counter sums above: merge_run_metrics
+  // folds every run's MetricsSnapshot with counter/bucket addition and
+  // gauge max — commutative and associative — so a pooled batch and its
+  // serial replay agree on every total whose underlying quantity is
+  // placement-independent.
+  Sweep sweep;
+  sweep.add(ScenarioRegistry::paper(), "fig1b/silent")
+      .add(ScenarioRegistry::paper(), "fig1b/wrong-value")
+      .seeds(1, 10);
+
+  // With context pooling off every run starts cold, so each run's snapshot
+  // is fully deterministic and the merged totals must be byte-identical
+  // across thread counts — modulo proc.peak_rss_bytes, the one gauge that
+  // reads a process-wide high-water mark and only grows over the process's
+  // life.
+  const auto cold_totals = [&](std::size_t threads) {
+    BatchRunner::Options options;
+    options.threads = threads;
+    options.context_pooling = false;
+    obs::MetricsSnapshot total =
+        merge_run_metrics(BatchRunner(options).run_reports(sweep.expand()));
+    total.gauges.erase("proc.peak_rss_bytes");
+    return total;
+  };
+  const obs::MetricsSnapshot serial_total = cold_totals(1);
+  const obs::MetricsSnapshot pooled_total = cold_totals(4);
+  ASSERT_FALSE(serial_total.empty());
+  EXPECT_EQ(pooled_total, serial_total);
+
+  // Under recycled contexts the hit/miss splits and the incremental-search
+  // enumeration volume move with each worker's warm caches, but the
+  // behavior-fact totals — work *requested*, verification total, event
+  // count — are functions of the runs alone and must survive any placement.
+  BatchRunner::Options recycled_options;
+  recycled_options.threads = 4;
+  const std::vector<RunReport> recycled =
+      BatchRunner(recycled_options).run_reports(sweep.expand());
+  const obs::MetricsSnapshot recycled_total = merge_run_metrics(recycled);
+  EXPECT_EQ(recycled_total.counter("eval.requested"),
+            serial_total.counter("eval.requested"));
+  EXPECT_EQ(recycled_total.counter("sig.verified") +
+                recycled_total.counter("sig.cached"),
+            serial_total.counter("sig.verified") +
+                serial_total.counter("sig.cached"));
+  EXPECT_EQ(recycled_total.counter("sim.events"),
+            serial_total.counter("sim.events"));
+  EXPECT_EQ(recycled_total.counter("engine.big_scc_fallbacks"),
+            serial_total.counter("engine.big_scc_fallbacks"));
+
+  // Merge order must not matter: folding the reports in reverse yields the
+  // same totals (the associativity/commutativity everything above rests
+  // on).
+  std::vector<RunReport> reversed(recycled.rbegin(), recycled.rend());
+  EXPECT_EQ(merge_run_metrics(reversed), recycled_total);
+}
+
 TEST(BatchRunnerTest, VerifyDeterminismOptionPasses) {
   Sweep sweep;
   sweep.add(ScenarioRegistry::paper(), "fig1b/silent").seeds(1, 4);

@@ -1,0 +1,30 @@
+// cup_lint fixture: R3's obs clause must fire — one obs:: typed RunReport
+// field serialized by digest() (observability state must never enter the
+// digest, wall times differ every run) and one left unmarked (the
+// determinism contract must be recorded with a digest-excluded marker).
+// Not compiled.
+// cup-lint-expect: R3
+#include <cstdint>
+#include <string>
+
+namespace obs {
+struct MetricsSnapshot {
+  std::uint64_t counters = 0;
+};
+}  // namespace obs
+
+struct RunReport {
+  std::uint64_t messages_sent = 0;
+  // Serialized below: the obs clause rejects this outright, marker or not.
+  obs::MetricsSnapshot metrics;
+  // Not hashed, but missing the digest-excluded marker: unclassified obs
+  // state.
+  obs::MetricsSnapshot spans;
+
+  std::string digest() const;
+};
+
+std::string RunReport::digest() const {
+  return std::to_string(messages_sent) + "." +
+         std::to_string(metrics.counters);
+}

@@ -1,0 +1,25 @@
+// cup_lint fixture: the classified twin of r3_obs_field.bad.cpp. The obs::
+// fields stay out of digest() and each carries the digest-excluded marker
+// recording the observability determinism contract.
+#include <cstdint>
+#include <string>
+
+namespace obs {
+struct MetricsSnapshot {
+  std::uint64_t counters = 0;
+};
+}  // namespace obs
+
+struct RunReport {
+  std::uint64_t messages_sent = 0;
+  // cup-lint: digest-excluded(observability snapshot, behavior-neutral by contract)
+  obs::MetricsSnapshot metrics;
+  // cup-lint: digest-excluded(observability trace; wall-clock values differ every run)
+  obs::MetricsSnapshot spans;
+
+  std::string digest() const;
+};
+
+std::string RunReport::digest() const {
+  return std::to_string(messages_sent);
+}

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Chrome trace-event schema gate for cup_trace output (stdlib only).
+
+Validates that a trace document is what Perfetto / chrome://tracing will
+actually load: a JSON object with a `traceEvents` list whose members are
+metadata ("M") or complete ("X") events carrying the fields the exporter
+promises (obs/trace_export.cpp) — non-negative microsecond ts/dur, the
+bftcup category, and per-event args with both clocks (sim_begin/sim_end)
+plus seq/depth/arg. Also asserts the trace is non-trivial: a named process
+track and at least one `run.execute` span must be present, so an
+accidentally-disabled recorder cannot pass as an empty-but-valid document.
+
+Usage:
+  check_trace_schema.py TRACE.json
+  check_trace_schema.py --run CUP_TRACE_EXE [--scenario NAME] [--seed N]
+      [--keep FILE]
+
+--run executes the cup_trace binary itself (default: fig1b seed 7), writes
+the trace to a temp file (or --keep FILE), then validates it — the one-stop
+CI smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Any
+
+REQUIRED_X_ARGS = ("sim_begin", "sim_end", "seq", "depth", "arg")
+
+
+def fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+
+
+def check_event(event: Any, index: int, errors: list[str]) -> str | None:
+    """Validates one event; returns its name when it is an X event."""
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        fail(errors, f"{where}: not an object")
+        return None
+    phase = event.get("ph")
+    if phase not in ("M", "X"):
+        fail(errors, f"{where}: ph must be 'M' or 'X', got {phase!r}")
+        return None
+    if not isinstance(event.get("name"), str) or not event["name"]:
+        fail(errors, f"{where}: missing non-empty string name")
+    for key in ("pid", "tid"):
+        if not isinstance(event.get(key), int):
+            fail(errors, f"{where}: {key} must be an integer")
+    if phase == "M":
+        args = event.get("args")
+        if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+            fail(errors, f"{where}: metadata event needs args.name string")
+        return None
+    # Complete event.
+    if event.get("cat") != "bftcup":
+        fail(errors, f"{where}: cat must be 'bftcup', got {event.get('cat')!r}")
+    for key in ("ts", "dur"):
+        value = event.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(errors, f"{where}: {key} must be a number")
+        elif value < 0:
+            fail(errors, f"{where}: {key} must be non-negative, got {value}")
+    args = event.get("args")
+    if not isinstance(args, dict):
+        fail(errors, f"{where}: X event needs an args object")
+    else:
+        for key in REQUIRED_X_ARGS:
+            if not isinstance(args.get(key), int):
+                fail(errors, f"{where}: args.{key} must be an integer")
+        if isinstance(args.get("sim_begin"), int) and isinstance(
+            args.get("sim_end"), int
+        ):
+            if args["sim_end"] < args["sim_begin"]:
+                fail(errors, f"{where}: sim_end < sim_begin")
+    return event.get("name") if isinstance(event.get("name"), str) else None
+
+
+def validate(document: Any) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return ["top level: not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level: traceEvents must be a list"]
+
+    span_names: set[str] = set()
+    metadata_names: set[str] = set()
+    for index, event in enumerate(events):
+        name = check_event(event, index, errors)
+        if name is not None:
+            span_names.add(name)
+        elif isinstance(event, dict) and event.get("ph") == "M":
+            metadata_names.add(event.get("name", ""))
+
+    if "process_name" not in metadata_names:
+        fail(errors, "no process_name metadata event (unnamed track)")
+    if "run.execute" not in span_names:
+        fail(errors, "no run.execute span: the recorder captured nothing")
+
+    other = document.get("otherData")
+    if not isinstance(other, dict):
+        fail(errors, "top level: otherData must be an object")
+    else:
+        for key in ("spans_started", "spans_dropped"):
+            if not isinstance(other.get(key), int):
+                fail(errors, f"otherData.{key} must be an integer")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", help="trace JSON file to validate")
+    parser.add_argument("--run", help="cup_trace executable to smoke-run")
+    parser.add_argument("--scenario", default="fig1b")
+    parser.add_argument("--seed", default="7")
+    parser.add_argument("--keep", help="with --run: keep the trace here")
+    args = parser.parse_args()
+
+    if (args.trace is None) == (args.run is None):
+        parser.error("pass exactly one of TRACE.json or --run")
+
+    if args.run is not None:
+        path = args.keep
+        temp = None
+        if path is None:
+            fd, path = tempfile.mkstemp(suffix=".json", prefix="cup_trace_")
+            os.close(fd)
+            temp = path
+        cmd = [
+            args.run, "--scenario", args.scenario, "--seed", args.seed,
+            "--out", path,
+        ]
+        try:
+            result = subprocess.run(cmd, capture_output=True, text=True)
+            if result.returncode != 0:
+                print(f"error: {' '.join(cmd)} exited {result.returncode}",
+                      file=sys.stderr)
+                sys.stderr.write(result.stderr)
+                return 1
+            with open(path) as f:
+                document = json.load(f)
+        finally:
+            if temp is not None:
+                os.unlink(temp)
+    else:
+        with open(args.trace) as f:
+            document = json.load(f)
+
+    errors = validate(document)
+    if errors:
+        print(f"{len(errors)} schema violation(s):", file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    events = document["traceEvents"]
+    x_events = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "X")
+    print(f"trace schema OK: {x_events} spans, {len(events) - x_events} "
+          f"metadata events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,15 @@ DIGEST_PATH_MODULES = (
     "src/cup/runner.cpp",
     "src/cup/batch_runner.hpp",
     "src/cup/batch_runner.cpp",
+    # The observability layer rides on digest-path runs: registries iterate
+    # for snapshots and the tracer/export order must be replayable, so its
+    # containers stay in the inventory and under R1.
+    "src/obs/metrics.hpp",
+    "src/obs/metrics.cpp",
+    "src/obs/span_tracer.hpp",
+    "src/obs/span_tracer.cpp",
+    "src/obs/trace_export.hpp",
+    "src/obs/trace_export.cpp",
     "src/sim/trace.hpp",
     "src/sim/trace.cpp",
     "src/explore/coverage.hpp",
@@ -471,6 +480,38 @@ def check_r3(files: list[SourceFile], findings: list[Finding]) -> None:
             for name, lineno in fields:
                 hashed = name in digest_tokens
                 excluded = source.allowlisted("digest-excluded", lineno)
+                # Obs clause: observability state (any obs:: typed field)
+                # must never enter the digest — wall times and metric
+                # placement vary run to run, and hashing them would break
+                # the bit-replay contract the layer is built around.
+                declaration = source.code_lines[lineno - 1]
+                if "obs::" in declaration:
+                    if hashed:
+                        findings.append(
+                            Finding(
+                                "R3",
+                                source.rel,
+                                lineno,
+                                f"RunReport::{name} is observability state "
+                                "(obs::) serialized by digest() — "
+                                "observability state must never enter the "
+                                "digest",
+                            )
+                        )
+                        continue
+                    if not excluded:
+                        findings.append(
+                            Finding(
+                                "R3",
+                                source.rel,
+                                lineno,
+                                f"RunReport::{name} is observability state "
+                                "(obs::): mark it // cup-lint: "
+                                "digest-excluded(<why>) to record the "
+                                "contract",
+                            )
+                        )
+                    continue
                 if hashed and excluded:
                     findings.append(
                         Finding(
