@@ -101,6 +101,10 @@ void ByzantineNode::on_message(ProcessId from, const msg::Message& message,
         msg::Message reply;
         reply.type = msg::MsgType::kDecidedVal;
         reply.value = *config_.wrong_decided_value;
+        // Signed as itself — a Byzantine process can vouch for any value
+        // with its own key, so the fetch side's majority count (not the
+        // signature check) is what protects validity here.
+        reply.sig = ctx.signer().sign(msg::decided_val_payload(reply.value));
         ctx.send(from, std::move(reply));
       }
       return;

@@ -45,6 +45,14 @@ std::optional<std::uint64_t> Decoder::get_varint() {
       failed_ = true;
       return std::nullopt;
     }
+    if (shift > 0 && b == 0) {
+      // Overlong encoding: a multi-byte varint whose final byte contributes
+      // nothing (e.g. 0x80 0x00 for zero). The encoder never emits these, so
+      // any occurrence is a hostile frame; rejecting keeps the encoding
+      // canonical (one value, one byte string) for signed payloads.
+      failed_ = true;
+      return std::nullopt;
+    }
     v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
     if ((b & 0x80) == 0) return v;
     shift += 7;
@@ -91,9 +99,19 @@ std::optional<IdSet> Decoder::get_id_set() {
     return std::nullopt;
   }
   IdSet out;
+  std::optional<ProcessId> prev;
   for (std::uint64_t i = 0; i < *count; ++i) {
     const auto id = get_id();
     if (!id) return std::nullopt;
+    // The encoder walks a sorted set, so ids arrive strictly ascending. An
+    // out-of-order or duplicate id means the buffer was not produced by
+    // put_id_set; rejecting keeps the encoding canonical (two distinct byte
+    // strings can never decode to the same set).
+    if (prev && *id <= *prev) {
+      failed_ = true;
+      return std::nullopt;
+    }
+    prev = *id;
     out.insert(*id);
   }
   return out;

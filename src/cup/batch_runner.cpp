@@ -98,6 +98,9 @@ RunRecord summarize(std::string scenario, std::uint64_t seed,
   record.recycled = report.contexts_recycled;
   record.arena_peak = report.arena_bytes_peak;
   record.peak_rss = peak_rss_bytes();
+  record.frames_mutated = report.frames_mutated;
+  record.frames_rejected = report.frames_rejected;
+  record.frames_lost = report.frames_lost;
   record.digest = report.digest();
   return record;
 }
@@ -177,11 +180,16 @@ namespace {
 constexpr const char* kRunsCsvHeader =
     "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
     "delivered,bytes,value,evaluations,eval_hits,signatures,sig_hits,"
-    "recycled,arena_peak,peak_rss,digest";
+    "recycled,arena_peak,peak_rss,frames_mutated,frames_rejected,"
+    "frames_lost,digest";
 
 // Earlier headers, still accepted on import (see from_runs_csv): the
-// pre-peak-rss 18-column format, the pre-run-engine 16-column format, and
-// the pre-cache-counter 12-column one.
+// pre-hostile-wire 19-column format, the pre-peak-rss 18-column format, the
+// pre-run-engine 16-column format, and the pre-cache-counter 12-column one.
+constexpr const char* kPeakRssRunsCsvHeader =
+    "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
+    "delivered,bytes,value,evaluations,eval_hits,signatures,sig_hits,"
+    "recycled,arena_peak,peak_rss,digest";
 constexpr const char* kRunEngineRunsCsvHeader =
     "scenario,seed,verdict,agreement,validity,terminated,latency,messages,"
     "delivered,bytes,value,evaluations,eval_hits,signatures,sig_hits,"
@@ -297,6 +305,9 @@ std::string BatchReport::runs_csv() const {
     out += ',' + std::to_string(r.recycled);
     out += ',' + std::to_string(r.arena_peak);
     out += ',' + std::to_string(r.peak_rss);
+    out += ',' + std::to_string(r.frames_mutated);
+    out += ',' + std::to_string(r.frames_rejected);
+    out += ',' + std::to_string(r.frames_lost);
     out += ',' + csv_field(r.digest);
     out += '\n';
   }
@@ -306,15 +317,17 @@ std::string BatchReport::runs_csv() const {
 BatchReport BatchReport::from_runs_csv(const std::string& csv) {
   std::vector<RunRecord> runs;
   bool header = true;
-  // 19 = current format; 18 = pre-peak-rss; 16 = pre-run-engine; 12 =
-  // pre-cache-counter. Old formats stay accepted so persisted sweep outputs
-  // keep loading (absent counters read 0). Rows must match the arity their
-  // header announced — a mixed file is corrupt.
+  // 22 = current format; 19 = pre-hostile-wire; 18 = pre-peak-rss; 16 =
+  // pre-run-engine; 12 = pre-cache-counter. Old formats stay accepted so
+  // persisted sweep outputs keep loading (absent counters read 0). Rows must
+  // match the arity their header announced — a mixed file is corrupt.
   std::size_t expected_fields = 0;
   for (const std::string& line : split_csv_records(csv)) {
     if (line.empty()) continue;
     if (header) {
       if (line == kRunsCsvHeader) {
+        expected_fields = 22;
+      } else if (line == kPeakRssRunsCsvHeader) {
         expected_fields = 19;
       } else if (line == kRunEngineRunsCsvHeader) {
         expected_fields = 18;
@@ -354,8 +367,13 @@ BatchReport BatchReport::from_runs_csv(const std::string& csv) {
       r.recycled = std::stoull(fields[15]);
       r.arena_peak = std::stoull(fields[16]);
     }
-    if (fields.size() == 19) {
+    if (fields.size() >= 19) {
       r.peak_rss = std::stoull(fields[17]);
+    }
+    if (fields.size() == 22) {
+      r.frames_mutated = std::stoull(fields[18]);
+      r.frames_rejected = std::stoull(fields[19]);
+      r.frames_lost = std::stoull(fields[20]);
     }
     r.digest = fields.back();
     runs.push_back(std::move(r));
@@ -450,6 +468,9 @@ std::string BatchReport::to_json() const {
     out += ",\"recycled\":" + std::to_string(r.recycled);
     out += ",\"arena_peak\":" + std::to_string(r.arena_peak);
     out += ",\"peak_rss\":" + std::to_string(r.peak_rss);
+    out += ",\"frames_mutated\":" + std::to_string(r.frames_mutated);
+    out += ",\"frames_rejected\":" + std::to_string(r.frames_rejected);
+    out += ",\"frames_lost\":" + std::to_string(r.frames_lost);
     out += ",\"digest\":\"" + json_escape(r.digest) + "\"}";
   }
   out += "]}";
@@ -646,6 +667,12 @@ BatchReport BatchReport::from_json(const std::string& json) {
           r.arena_peak = cursor.unsigned_integer();
         } else if (key == "peak_rss") {
           r.peak_rss = cursor.unsigned_integer();
+        } else if (key == "frames_mutated") {
+          r.frames_mutated = cursor.unsigned_integer();
+        } else if (key == "frames_rejected") {
+          r.frames_rejected = cursor.unsigned_integer();
+        } else if (key == "frames_lost") {
+          r.frames_lost = cursor.unsigned_integer();
         } else if (key == "digest") {
           r.digest = cursor.string();
         } else {

@@ -107,6 +107,11 @@ struct RunRecord {
   /// meaningful for the batch's memory ceiling, and excluded from the
   /// digest like every other executing-context property.
   std::uint64_t peak_rss = 0;
+  // Hostile-wire counters (RunReport::frames_*): zero unless the scenario
+  // enables the wire mutation layer or the lossy-network model.
+  std::uint64_t frames_mutated = 0;   ///< deliveries perturbed on the wire
+  std::uint64_t frames_rejected = 0;  ///< frames the hardened decoder refused
+  std::uint64_t frames_lost = 0;      ///< sends dropped by the loss model
   std::string digest;            ///< RunReport::digest()
 
   friend bool operator==(const RunRecord&, const RunRecord&) = default;

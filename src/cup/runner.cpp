@@ -123,8 +123,17 @@ RunReport execute_scenario(
   }
   const obs::ObsScope obs_scope(registry, tracer.get());
 
-  if (scenario.make_policy) {
-    simulator.set_delay_policy(scenario.make_policy());
+  if (scenario.make_policy || scenario.loss.enabled) {
+    std::unique_ptr<sim::DelayPolicy> policy =
+        scenario.make_policy ? scenario.make_policy()
+                             : std::make_unique<sim::RandomDelayPolicy>();
+    if (scenario.loss.enabled) {
+      // The lossy wrapper goes outermost so its drop decision is asked first
+      // and its jitter stretches whatever the scenario's policy scheduled.
+      policy = std::make_unique<sim::LossyDelayPolicy>(std::move(policy),
+                                                       scenario.loss);
+    }
+    simulator.set_delay_policy(std::move(policy));
   }
   if (!scenario.timeline.empty()) {
     simulator.set_fault_timeline(scenario.timeline);
@@ -242,6 +251,11 @@ RunReport execute_scenario(
   report.messages_dropped = trace.messages_dropped();
   report.bytes_sent = trace.bytes_sent();
   report.sent_by_type = trace.sent_by_type();
+  // Hostile-wire counters come straight from the trace (per-run by
+  // construction); the registry mirror below is additive like the others.
+  report.frames_mutated = trace.frames_mutated();
+  report.frames_rejected = trace.frames_rejected();
+  report.frames_lost = trace.frames_lost();
   // The trace's flat maps are sorted by id, so these rebuilds preserve the
   // iteration (and digest serialization) order std::map gave.
   report.decisions.insert(trace.decisions().begin(), trace.decisions().end());
@@ -270,6 +284,26 @@ RunReport execute_scenario(
     registry->counter("sig.cached").add(sig_hits);
     registry->counter("engine.big_scc_fallbacks").add(fallbacks);
     registry->counter("engine.eval_tasks_dispatched").add(tasks);
+    // wire.* rows appear only on runs where the hostile wire actually acted:
+    // a zero add would still intern the counter and grow every clean run's
+    // snapshot, which the obs determinism suite pins.
+    if (report.frames_mutated != 0) {
+      registry->counter("wire.frames_mutated").add(report.frames_mutated);
+      const sim::Trace::WireKindHistogram& by_kind = trace.mutated_by_kind();
+      for (std::size_t i = 0; i < by_kind.size(); ++i) {
+        if (by_kind[i] == 0) continue;
+        registry
+            ->counter(std::string("wire.mutated.") +
+                      sim::to_string(static_cast<sim::WireMutationKind>(i)))
+            .add(by_kind[i]);
+      }
+    }
+    if (report.frames_rejected != 0) {
+      registry->counter("wire.frames_rejected").add(report.frames_rejected);
+    }
+    if (report.frames_lost != 0) {
+      registry->counter("wire.frames_lost").add(report.frames_lost);
+    }
     registry->gauge("proc.peak_rss_bytes").set_max(peak_rss_bytes());
     report.metrics = obs::MetricsSnapshot::delta(metrics0,
                                                  registry->snapshot());

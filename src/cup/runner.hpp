@@ -45,6 +45,13 @@ struct Scenario {
   std::map<ProcessId, Value> proposals;
 
   sim::Simulator::Options sim;
+  /// Lossy-network fault model (README "Hostile wire"): seeded drop/jitter/
+  /// burst loss wrapped around the delay policy (the scenario's make_policy
+  /// or the default). Disabled by default; `sim.wire` holds the byte-level
+  /// mutation config. Both break the paper's reliable-channel premise, so
+  /// Theorem 1 liveness is out of scope while they are active — safety
+  /// (agreement, validity, no forged senders or spliced certs) is not.
+  sim::LossConfig loss;
   /// Time-scheduled fault script (crash/recover, link and partition windows,
   /// late joins). Empty by default; see ScenarioBuilder's fluent fault API.
   sim::FaultTimeline timeline;
@@ -141,6 +148,18 @@ struct RunReport {
   /// from exhaustive to certify-plus-sample.
   // cup-lint: digest-excluded(diagnostic counter, behavior-neutral)
   std::uint64_t big_scc_fallbacks = 0;
+  // Hostile-wire counters (README "Hostile wire"). Zero whenever the wire
+  // layer and loss model are off, and excluded from digest() like every
+  // post-corpus field: the golden serialization predates them.
+  /// Deliveries whose encoded frame the WireMutator perturbed.
+  // cup-lint: digest-excluded(hostile-wire counter; golden digests predate it)
+  std::uint64_t frames_mutated = 0;
+  /// Mutated frames the hardened decode path refused (counted, dropped).
+  // cup-lint: digest-excluded(hostile-wire counter; golden digests predate it)
+  std::uint64_t frames_rejected = 0;
+  /// Sends the lossy-network model dropped on the wire.
+  // cup-lint: digest-excluded(hostile-wire counter; golden digests predate it)
+  std::uint64_t frames_lost = 0;
   /// WorkPool chunks executed for this run (0 when parallel_eval <= 1) — a
   /// utilization diagnostic for the intra-run parallel kernel. Excluded
   /// from digest(): it describes how the work was *scheduled*, which the

@@ -141,6 +141,35 @@ ScenarioBuilder& ScenarioBuilder::fault_timeline(sim::FaultTimeline timeline) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::wire_mutation(double rate,
+                                                std::uint32_t kind_mask,
+                                                std::uint32_t type_mask,
+                                                std::uint64_t wire_seed) {
+  scenario_.sim.wire.enabled = true;
+  scenario_.sim.wire.rate = rate;
+  scenario_.sim.wire.kind_mask = kind_mask;
+  scenario_.sim.wire.type_mask = type_mask;
+  scenario_.sim.wire.seed = wire_seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::loss(double drop_p, SimTime jitter) {
+  scenario_.loss.enabled = true;
+  scenario_.loss.drop_p = drop_p;
+  scenario_.loss.jitter = jitter;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::loss_burst(SimTime start, SimTime len,
+                                             SimTime period, double drop_p) {
+  scenario_.loss.enabled = true;
+  scenario_.loss.burst_start = start;
+  scenario_.loss.burst_len = len;
+  scenario_.loss.burst_period = period;
+  scenario_.loss.burst_drop_p = drop_p;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::discovery_period(SimTime period) {
   scenario_.discovery_period = period;
   return *this;
@@ -295,6 +324,32 @@ Scenario ScenarioBuilder::build() const {
           fail("partition groups must be disjoint");
         }
         break;
+    }
+  }
+  if (s.sim.wire.enabled) {
+    if (s.sim.wire.rate < 0.0 || s.sim.wire.rate > 1.0) {
+      fail("wire mutation rate must be in [0, 1]");
+    }
+    if (s.sim.wire.kind_mask == 0 ||
+        (s.sim.wire.kind_mask & ~sim::kAllWireMutationKinds) != 0) {
+      fail("wire kind_mask must be a non-empty subset of the mutation kinds");
+    }
+    if (s.sim.wire.type_mask == 0 ||
+        (s.sim.wire.type_mask & ~sim::kAllWireMsgTypes) != 0) {
+      fail("wire type_mask must be a non-empty subset of the message types");
+    }
+  }
+  if (s.loss.enabled) {
+    if (s.loss.drop_p < 0.0 || s.loss.drop_p > 1.0) {
+      fail("loss drop probability must be in [0, 1]");
+    }
+    if (s.loss.burst_drop_p < 0.0 || s.loss.burst_drop_p > 1.0) {
+      fail("burst drop probability must be in [0, 1]");
+    }
+    if (s.loss.jitter < 0) fail("loss jitter must be non-negative");
+    if (s.loss.burst_start < 0 || s.loss.burst_len < 0 ||
+        s.loss.burst_period < 0) {
+      fail("burst loss window parameters must be non-negative");
     }
   }
   if (s.discovery_period <= 0) fail("discovery_period must be positive");

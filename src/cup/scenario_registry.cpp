@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "explore/genome.hpp"
+#include "msg/message.hpp"
 #include "sim/network.hpp"
+#include "sim/wire_mutator.hpp"
 
 namespace bftcup::cup {
 namespace {
@@ -458,6 +460,97 @@ void register_dynamic(ScenarioRegistry& registry) {
                 }});
 }
 
+void register_wire(ScenarioRegistry& registry) {
+  // Hostile-wire robustness family: the protocol under a byte-level
+  // Byzantine wire (sim::WireMutator) and a lossy fault model
+  // (sim::LossyDelayPolicy). Safety must hold on every entry — mutated or
+  // lost frames may cost termination, never agreement or validity; the
+  // assertions and pinned digests live in tests/wire_test.cpp.
+  constexpr auto kind_bit = [](sim::WireMutationKind kind) {
+    return 1u << static_cast<std::uint32_t>(kind);
+  };
+  constexpr auto type_bit = [](msg::MsgType type) {
+    return 1u << static_cast<std::uint32_t>(type);
+  };
+  registry.add({"wire/fig1b-bitflip",
+                "Fig. 1b under a 5% bit-flipping wire: flipped frames must "
+                "be rejected or verified away, never decide a forged value",
+                {"wire", "fig1", "auth"},
+                [kind_bit](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1b())
+                      .mode(Mode::kAuth)
+                      .seed(seed)
+                      .wire_mutation(0.05,
+                                     kind_bit(sim::WireMutationKind::kBitFlip))
+                      .horizon(2'000'000);
+                }});
+  registry.add({"wire/fig1b-storm",
+                "Fig. 1b under a 35% all-kinds mutation storm: truncation, "
+                "splicing, replay, duplication, and garbage at once",
+                {"wire", "fig1", "auth"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1b())
+                      .mode(Mode::kAuth)
+                      .seed(seed)
+                      .wire_mutation(0.35)
+                      .horizon(2'000'000);
+                }});
+  registry.add(
+      {"wire/fig4a-splice-cert",
+       "Fig. 4a (CUPFT) with splice/replay mutations aimed at the "
+       "cert-carrying consensus messages — a spliced quorum cert must "
+       "never pass the Verifier",
+       {"wire", "fig4", "cupft"},
+       [kind_bit, type_bit](std::uint64_t seed) {
+         return ScenarioBuilder(graph::figures::fig4a())
+             .mode(Mode::kCupft)
+             .seed(seed)
+             .wire_mutation(0.25,
+                            kind_bit(sim::WireMutationKind::kSplice) |
+                                kind_bit(sim::WireMutationKind::kReplay),
+                            type_bit(msg::MsgType::kDecidedVal) |
+                                type_bit(msg::MsgType::kPbftCommit) |
+                                type_bit(msg::MsgType::kPbftNewView) |
+                                type_bit(msg::MsgType::kPbftDecide))
+             .horizon(2'000'000);
+       }});
+  registry.add({"wire/fig4a-garbage",
+                "Fig. 4a (CUPFT) with 25% of frames replaced by seeded "
+                "garbage bytes: the decoder must reject every one",
+                {"wire", "fig4", "cupft"},
+                [kind_bit](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig4a())
+                      .mode(Mode::kCupft)
+                      .seed(seed)
+                      .wire_mutation(0.25,
+                                     kind_bit(sim::WireMutationKind::kGarbage))
+                      .horizon(2'000'000);
+                }});
+  registry.add({"wire/fig1b-lossy",
+                "Fig. 1b over a lossy link: 5% uniform drops plus jitter up "
+                "to 20 ticks; re-polls ride out the loss",
+                {"wire", "fig1", "auth", "loss"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1b())
+                      .mode(Mode::kAuth)
+                      .seed(seed)
+                      .loss(0.05, 20)
+                      .horizon(2'000'000);
+                }});
+  registry.add({"wire/fig1b-burst",
+                "Fig. 1b with recurring burst outages: every frame sent in "
+                "[20+500k, 60+500k) is lost (the clean run completes by "
+                "t=73, so the first window lands mid-discovery)",
+                {"wire", "fig1", "auth", "loss"},
+                [](std::uint64_t seed) {
+                  return ScenarioBuilder(graph::figures::fig1b())
+                      .mode(Mode::kAuth)
+                      .seed(seed)
+                      .loss_burst(20, 40, 500)
+                      .horizon(2'000'000);
+                }});
+}
+
 void register_explored(ScenarioRegistry& registry) {
   // The checked-in attack corpus: counterexamples and witnesses found and
   // minimized by the adversary explorer (src/explore/, tools/cup_explore).
@@ -572,6 +665,7 @@ ScenarioRegistry build_paper_registry() {
   register_fig4(registry);
   register_generated(registry);
   register_dynamic(registry);
+  register_wire(registry);
   register_explored(registry);
   return registry;
 }

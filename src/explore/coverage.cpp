@@ -41,6 +41,14 @@ std::string coverage_signature(const cup::RunReport& report) {
     sig += std::to_string(log_bucket(count)) + ".";
   }
   sig += "|x" + std::to_string(log_bucket(report.messages_dropped));
+  // Hostile-wire activity. Appended only when the wire actually touched the
+  // run so every pre-wire (and wire-off) signature stays byte-identical.
+  if (report.frames_mutated > 0 || report.frames_rejected > 0 ||
+      report.frames_lost > 0) {
+    sig += "|w" + std::to_string(log_bucket(report.frames_mutated)) + "." +
+           std::to_string(log_bucket(report.frames_rejected)) + "." +
+           std::to_string(log_bucket(report.frames_lost));
+  }
   sig += "|e" + std::to_string(log_bucket(report.evaluations));
   sig += "|s" + std::to_string(log_bucket(report.signatures_verified +
                                           report.signatures_cached));

@@ -182,6 +182,16 @@ cup::ScenarioBuilder Genome::to_builder() const {
       .horizon(horizon)
       .seed(seed);
   if (closure_guard) builder.closure_guard();
+  if (wire_rate_pm > 0) {
+    builder.wire_mutation(static_cast<double>(wire_rate_pm) / 1000.0,
+                          wire_kinds, wire_types);
+  }
+  if (loss_pm > 0 || loss_jitter > 0) {
+    builder.loss(static_cast<double>(loss_pm) / 1000.0, loss_jitter);
+  }
+  if (burst_len > 0) {
+    builder.loss_burst(burst_start, burst_len, burst_period);
+  }
   for (const auto& [owner, advertised] : fake_pds) {
     builder.fake_pd(owner, advertised);
   }
@@ -251,6 +261,23 @@ std::string Genome::to_line() const {
   out += "|hz=" + std::to_string(horizon);
   out += "|seed=" + std::to_string(seed);
   out += std::string("|cg=") + (closure_guard ? "1" : "0");
+  // Hostile-wire keys are emitted only when they carry non-default content:
+  // a wire-free genome's line is byte-identical to its pre-wire form, which
+  // keeps the pinned corpus and the sha-derived finding names stable. Masks
+  // are inert while the rate is zero, so they are (deliberately) not
+  // serialized in that case — semantic equality, not field equality.
+  if (wire_rate_pm > 0) {
+    out += "|wm=" + std::to_string(wire_rate_pm) + ":" +
+           std::to_string(wire_kinds) + ":" + std::to_string(wire_types);
+  }
+  if (loss_pm > 0 || loss_jitter > 0) {
+    out += "|loss=" + std::to_string(loss_pm) + ":" +
+           std::to_string(loss_jitter);
+  }
+  if (burst_len > 0) {
+    out += "|burst=" + std::to_string(burst_start) + ":" +
+           std::to_string(burst_len) + ":" + std::to_string(burst_period);
+  }
   return out;
 }
 
@@ -330,6 +357,34 @@ std::optional<Genome> Genome::parse_line(const std::string& line) {
     } else if (key == "cg") {
       if (value != "0" && value != "1") return std::nullopt;
       genome.closure_guard = value == "1";
+    } else if (key == "wm") {
+      const auto parts = split(value, ':');
+      if (parts.size() != 3) return std::nullopt;
+      const auto rate = parse_u64(parts[0]);
+      const auto kinds = parse_u64(parts[1]);
+      const auto types = parse_u64(parts[2]);
+      if (!rate || !kinds || !types) return std::nullopt;
+      genome.wire_rate_pm = static_cast<std::uint32_t>(*rate);
+      genome.wire_kinds = static_cast<std::uint32_t>(*kinds);
+      genome.wire_types = static_cast<std::uint32_t>(*types);
+    } else if (key == "loss") {
+      const auto parts = split(value, ':');
+      if (parts.size() != 2) return std::nullopt;
+      const auto pm = parse_u64(parts[0]);
+      const auto jitter = parse_u64(parts[1]);
+      if (!pm || !jitter) return std::nullopt;
+      genome.loss_pm = static_cast<std::uint32_t>(*pm);
+      genome.loss_jitter = static_cast<SimTime>(*jitter);
+    } else if (key == "burst") {
+      const auto parts = split(value, ':');
+      if (parts.size() != 3) return std::nullopt;
+      const auto start = parse_u64(parts[0]);
+      const auto len = parse_u64(parts[1]);
+      const auto period = parse_u64(parts[2]);
+      if (!start || !len || !period) return std::nullopt;
+      genome.burst_start = static_cast<SimTime>(*start);
+      genome.burst_len = static_cast<SimTime>(*len);
+      genome.burst_period = static_cast<SimTime>(*period);
     } else {
       return std::nullopt;
     }

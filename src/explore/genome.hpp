@@ -55,6 +55,29 @@ struct Genome {
   std::uint64_t seed = 1;
   bool closure_guard = false;
 
+  // --- hostile-wire genes (PR "Hostile-wire robustness") ------------------
+  // Mutation/loss rates are integer permille so the one-line artifact stays
+  // exact (no float round-trip). All-default means the wire layer is off,
+  // and to_line() then omits the wm/loss/burst keys entirely — pre-wire
+  // corpus lines and their content-addressed finding names are unchanged.
+  std::uint32_t wire_rate_pm = 0;  ///< frame mutation probability, permille
+  std::uint32_t wire_kinds = sim::kAllWireMutationKinds;
+  std::uint32_t wire_types = sim::kAllWireMsgTypes;
+  std::uint32_t loss_pm = 0;       ///< per-send drop probability, permille
+  SimTime loss_jitter = 0;         ///< extra delivery jitter bound
+  SimTime burst_start = 0;         ///< burst loss windows (see LossConfig)
+  SimTime burst_len = 0;
+  SimTime burst_period = 0;
+
+  /// True iff any hostile-wire gene departs from the reliable-channel
+  /// premise. Such runs are outside Theorem 1's hypotheses: the oracle
+  /// stops treating non-termination as a liveness finding and attributes
+  /// safety breaks to the wire (FindingKind::kWireSafety).
+  [[nodiscard]] bool wire_active() const {
+    return wire_rate_pm > 0 || loss_pm > 0 || loss_jitter > 0 ||
+           burst_len > 0;
+  }
+
   /// The fluent-API view of the genome (seeded with `seed`). Building the
   /// returned builder runs the full Scenario validation; mutants that throw
   /// are rejected by the mutator, so "every genome in the corpus would

@@ -21,6 +21,10 @@ enum class Op : std::uint8_t {
   kDelta,
   kHorizon,
   kSeed,
+  kWireRate,
+  kWireMasks,
+  kLoss,
+  kLossBurst,
 };
 
 /// Draw table: each operator appears `weight` times. Biased toward the
@@ -36,6 +40,22 @@ constexpr Op kOpTable[] = {
     Op::kGst,            Op::kDelta,          Op::kHorizon,
     Op::kSeed,           Op::kSeed,
 };
+
+/// Appended to the draw table when MutatorOptions::wire_ops is on. Kept in
+/// a separate table so disabling the knob reproduces the pre-wire operator
+/// distribution exactly.
+constexpr Op kWireOpTable[] = {
+    Op::kWireRate, Op::kWireRate, Op::kWireMasks,
+    Op::kLoss,     Op::kLoss,     Op::kLossBurst,
+};
+
+/// Frame-mutation rates (permille) the kWireRate operator draws from; 0
+/// turns the layer back off.
+constexpr std::uint32_t kWireRates[] = {0, 25, 50, 100, 250, 500};
+
+/// Per-send drop probabilities (permille) for kLoss. Values above ~25% stop
+/// most runs from terminating at all; the tail exists to probe that edge.
+constexpr std::uint32_t kLossRates[] = {0, 10, 25, 50, 100, 250};
 
 ProcessId pick(const IdSet& ids, Rng& rng) {
   return ids.values()[rng.next_below(ids.size())];
@@ -140,7 +160,14 @@ Genome Mutator::mutate_once(const Genome& parent, Rng& rng) const {
   const std::size_t n = vertices.size();
   if (n == 0) return genome;
 
-  switch (kOpTable[rng.next_below(std::size(kOpTable))]) {
+  const std::size_t table_size =
+      std::size(kOpTable) +
+      (options_.wire_ops ? std::size(kWireOpTable) : 0);
+  const std::size_t draw = rng.next_below(table_size);
+  const Op op = draw < std::size(kOpTable)
+                    ? kOpTable[draw]
+                    : kWireOpTable[draw - std::size(kOpTable)];
+  switch (op) {
     case Op::kAddEdge: {
       const ProcessId from = pick(vertices, rng);
       const ProcessId to = pick(vertices, rng);
@@ -232,6 +259,47 @@ Genome Mutator::mutate_once(const Genome& parent, Rng& rng) const {
       break;
     case Op::kSeed:
       genome.seed = 1 + rng.next_below(1'000'000);
+      break;
+    case Op::kWireRate:
+      genome.wire_rate_pm = kWireRates[rng.next_below(std::size(kWireRates))];
+      break;
+    case Op::kWireMasks: {
+      // Masks are inert at rate 0 (to_line would not even serialize them),
+      // so mask mutation implies turning the layer on.
+      if (genome.wire_rate_pm == 0) genome.wire_rate_pm = 100;
+      if (rng.chance(0.5)) {
+        genome.wire_kinds = static_cast<std::uint32_t>(
+            1 + rng.next_below(sim::kAllWireMutationKinds));
+      } else {
+        genome.wire_types = static_cast<std::uint32_t>(
+            1 + rng.next_below(sim::kAllWireMsgTypes));
+      }
+      break;
+    }
+    case Op::kLoss:
+      genome.loss_pm = kLossRates[rng.next_below(std::size(kLossRates))];
+      genome.loss_jitter =
+          static_cast<SimTime>(rng.next_below(3)) * genome.delta;
+      break;
+    case Op::kLossBurst:
+      if (genome.burst_len > 0) {
+        genome.burst_start = 0;
+        genome.burst_len = 0;
+        genome.burst_period = 0;
+      } else {
+        const SimTime window = std::max<SimTime>(genome.horizon / 8, 1);
+        genome.burst_start = static_cast<SimTime>(
+            rng.next_below(static_cast<std::uint64_t>(window) + 1));
+        genome.burst_len =
+            1 + static_cast<SimTime>(
+                    rng.next_below(static_cast<std::uint64_t>(window)));
+        genome.burst_period =
+            rng.chance(0.5)
+                ? 0
+                : genome.burst_len +
+                      static_cast<SimTime>(rng.next_below(
+                          static_cast<std::uint64_t>(window) + 1));
+      }
       break;
   }
   return genome;

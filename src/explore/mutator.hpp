@@ -25,6 +25,10 @@ struct MutatorOptions {
   SimTime max_horizon = 2'000'000;
   SimTime max_gst = 100'000;
   SimTime max_delta = 100;
+  /// Let the mutator touch the hostile-wire genes (frame mutation rate and
+  /// masks, loss rate/jitter, burst windows). Off restricts the search to
+  /// the reliable-channel space — the pre-wire operator mix, byte-for-byte.
+  bool wire_ops = true;
 };
 
 class Mutator {

@@ -2,11 +2,35 @@
 
 #include <algorithm>
 
+#include "cup/runner.hpp"
 #include "graph/extended_osr.hpp"
 #include "graph/osr.hpp"
 
 namespace bftcup::explore {
 namespace {
+
+/// `genome` with every hostile-wire gene zeroed: the reliable-channel run
+/// the same adversary would have produced without the wire layer.
+Genome without_wire(const Genome& genome) {
+  Genome baseline = genome;
+  baseline.wire_rate_pm = 0;
+  baseline.wire_kinds = sim::kAllWireMutationKinds;
+  baseline.wire_types = sim::kAllWireMsgTypes;
+  baseline.loss_pm = 0;
+  baseline.loss_jitter = 0;
+  baseline.burst_start = 0;
+  baseline.burst_len = 0;
+  baseline.burst_period = 0;
+  return baseline;
+}
+
+/// True iff the safety break vanishes when the wire layer is stripped —
+/// the evidence classify() needs before blaming the hostile wire.
+bool baseline_is_clean(const Genome& genome) {
+  const cup::RunReport baseline =
+      cup::run_scenario(without_wire(genome).to_builder().build());
+  return baseline.agreement && baseline.validity;
+}
 
 /// True iff every crash of a *correct* process has a later recover — an
 /// unrecovered correct crash forfeits termination by construction (the
@@ -50,6 +74,7 @@ const char* to_string(FindingKind kind) {
     case FindingKind::kValidity: return "validity";
     case FindingKind::kLiveness: return "liveness";
     case FindingKind::kWitness: return "witness";
+    case FindingKind::kWireSafety: return "wire-safety";
   }
   return "unknown";
 }
@@ -72,10 +97,18 @@ std::optional<Classification> classify(const Genome& genome,
     return std::nullopt;
   }
   const bool satisfied = requirements_satisfied(genome);
-  if (!report.agreement) {
-    return Classification{FindingKind::kAgreement, satisfied};
-  }
-  if (!report.validity) {
+  const bool wire = genome.wire_active();
+  if (!report.agreement || !report.validity) {
+    // Mutated frames may cost liveness, never safety: a safety break that
+    // disappears when the wire genes are stripped (same seed, same
+    // adversary) is a decode-path or verification hole, not a protocol
+    // counterexample. The replay is deterministic, so the attribution is.
+    if (wire && options.attribute_wire && baseline_is_clean(genome)) {
+      return Classification{FindingKind::kWireSafety, satisfied};
+    }
+    if (!report.agreement) {
+      return Classification{FindingKind::kAgreement, satisfied};
+    }
     return Classification{FindingKind::kValidity, satisfied};
   }
   if (report.all_correct_decided) {
@@ -86,8 +119,10 @@ std::optional<Classification> classify(const Genome& genome,
     return std::nullopt;
   }
   // NO-TERMINATION. Only a finding when the predicate promised solvability
-  // and the run was fair (see file comment).
-  if (!options.include_liveness || !satisfied) return std::nullopt;
+  // and the run was fair (see file comment). A lossy or mutating wire
+  // breaks the reliable-channel hypothesis Theorem 1 needs, so wire-active
+  // runs never count as liveness findings.
+  if (!options.include_liveness || !satisfied || wire) return std::nullopt;
   if (genome.mode == cup::Mode::kNaive) return std::nullopt;
   if (!crashes_all_recover(genome)) return std::nullopt;
   if (genome.horizon < last_disruption(genome) + options.liveness_slack) {

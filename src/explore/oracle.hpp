@@ -23,6 +23,13 @@ enum class FindingKind : std::uint8_t {
   kValidity,    ///< a correct process decided a never-proposed value
   kLiveness,    ///< solvable per the predicate, fair run, yet no termination
   kWitness,     ///< solved although the requirement check failed
+  /// A safety break attributable to the hostile wire: the genome's wire
+  /// genes are active, safety broke, and the same genome with the wire
+  /// layer stripped replays clean at the same seed. For a sound protocol
+  /// this must never fire — mutated frames may cost liveness, never
+  /// safety — so any non-kNaive wire-safety finding is a decode-path or
+  /// verification hole.
+  kWireSafety,
 };
 
 [[nodiscard]] const char* to_string(FindingKind kind);
@@ -38,6 +45,12 @@ struct OracleOptions {
   /// Ticks of undisturbed post-GST/post-disruption time a run must have had
   /// before NO-TERMINATION counts as a liveness finding.
   SimTime liveness_slack = 150'000;
+  /// On a safety break with wire genes active, replay the genome with the
+  /// wire stripped (same seed). A clean baseline pins the blame on the
+  /// hostile wire (kWireSafety); a dirty one falls through to the ordinary
+  /// kAgreement/kValidity classification. Costs one extra run, only on
+  /// wire-active safety violations.
+  bool attribute_wire = true;
 };
 
 /// Omniscient solvability: Theorem 1 (kAuth/kNaive) or the Section V

@@ -1,9 +1,61 @@
 #include "explore/shrinker.hpp"
 
+#include <bit>
+
 namespace bftcup::explore {
 
 std::vector<Genome> Shrinker::reductions(const Genome& genome) {
   std::vector<Genome> out;
+
+  // Hostile-wire genes first: zeroing a whole dimension is the biggest
+  // single step, then single mask bits. A kWireSafety target keeps at least
+  // one wire gene alive by construction (reproduces() re-classifies, and a
+  // wire-free genome cannot classify as wire-safety).
+  if (genome.wire_rate_pm > 0) {
+    Genome candidate = genome;
+    candidate.wire_rate_pm = 0;
+    candidate.wire_kinds = sim::kAllWireMutationKinds;
+    candidate.wire_types = sim::kAllWireMsgTypes;
+    out.push_back(std::move(candidate));
+  }
+  if (genome.wire_rate_pm > 0 && std::popcount(genome.wire_kinds) > 1) {
+    for (std::uint32_t bit = 0; bit < sim::kWireMutationKindCount; ++bit) {
+      if ((genome.wire_kinds & (1u << bit)) == 0) continue;
+      Genome candidate = genome;
+      candidate.wire_kinds &= ~(1u << bit);
+      out.push_back(std::move(candidate));
+    }
+  }
+  if (genome.wire_rate_pm > 0 && std::popcount(genome.wire_types) > 1) {
+    for (std::uint32_t bit = 0; bit < msg::kMsgTypeCount; ++bit) {
+      if ((genome.wire_types & (1u << bit)) == 0) continue;
+      Genome candidate = genome;
+      candidate.wire_types &= ~(1u << bit);
+      out.push_back(std::move(candidate));
+    }
+  }
+  if (genome.loss_pm > 0) {
+    Genome candidate = genome;
+    candidate.loss_pm = 0;
+    out.push_back(std::move(candidate));
+  }
+  if (genome.loss_jitter > 0) {
+    Genome candidate = genome;
+    candidate.loss_jitter = 0;
+    out.push_back(std::move(candidate));
+  }
+  if (genome.burst_len > 0) {
+    Genome candidate = genome;
+    candidate.burst_start = 0;
+    candidate.burst_len = 0;
+    candidate.burst_period = 0;
+    out.push_back(std::move(candidate));
+  }
+  if (genome.burst_period > 0) {
+    Genome candidate = genome;
+    candidate.burst_period = 0;  // recurring windows -> a single window
+    out.push_back(std::move(candidate));
+  }
 
   for (std::size_t i = 0; i < genome.timeline.size(); ++i) {
     Genome candidate = genome;

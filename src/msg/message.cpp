@@ -55,6 +55,13 @@ Bytes pbft_payload(MsgType phase, std::uint32_t view, Value value) {
   return enc.take();
 }
 
+Bytes decided_val_payload(Value value) {
+  codec::Encoder enc;
+  enc.put_string("dval");  // domain separation from PBFT and PD payloads
+  enc.put_u64(value);
+  return enc.take();
+}
+
 std::size_t Message::encoded_size() const {
   codec::Encoder enc;
   enc.put_u8(static_cast<std::uint8_t>(type));

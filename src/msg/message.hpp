@@ -106,4 +106,10 @@ struct Message {
 [[nodiscard]] Bytes pbft_payload(MsgType phase, std::uint32_t view,
                                  Value value);
 
+/// Canonical signed payload for DECIDEDVAL replies. Under reliable
+/// authenticated channels the bare value was safe; a hostile wire can flip
+/// value bits in transit, so the reply is signed and the fetch side counts
+/// only verified votes.
+[[nodiscard]] Bytes decided_val_payload(Value value);
+
 }  // namespace bftcup::msg

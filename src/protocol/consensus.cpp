@@ -21,6 +21,10 @@ void ValueExchange::reply(ProcessId to, sim::Context& ctx) {
   msg::Message m;
   m.type = msg::MsgType::kDecidedVal;
   m.value = *local_decision_;
+  // Signed so a hostile wire cannot flip value bits in transit and have
+  // the forgery counted as this process's vote (fixed-width signature, no
+  // rng draw — byte counts and digests of wire-off runs are unchanged).
+  m.sig = ctx.signer().sign(msg::decided_val_payload(m.value));
   ctx.send(to, std::move(m));
 }
 
@@ -36,8 +40,14 @@ bool ValueExchange::handle_message(ProcessId from, const msg::Message& message,
       }
       return true;
     case msg::MsgType::kDecidedVal: {
-      // Line 7: count identical answers from distinct members.
+      // Line 7: count identical answers from distinct members. Only votes
+      // the channel sender actually signed count — a mutated frame must
+      // not be attributable to a correct member.
       if (fetched_ || !asked_members_.contains(from)) return true;
+      if (!ctx.verifier().verify(from, msg::decided_val_payload(message.value),
+                                 message.sig)) {
+        return true;
+      }
       IdSet& who = answers_[message.value];
       who.insert(from);
       if (who.size() >= needed_) fetched_ = message.value;

@@ -66,4 +66,34 @@ SimTime SlowSenderPolicy::delivery_time(ProcessId from, ProcessId to,
   return std::min(std::max(base, release_at_), synchrony_cap(sent, cfg));
 }
 
+LossyDelayPolicy::LossyDelayPolicy(std::unique_ptr<DelayPolicy> inner,
+                                   LossConfig config)
+    : inner_(std::move(inner)), config_(config) {}
+
+bool LossyDelayPolicy::in_burst(SimTime t) const {
+  if (config_.burst_len == 0 || t < config_.burst_start) return false;
+  const SimTime offset = t - config_.burst_start;
+  if (config_.burst_period == 0) return offset < config_.burst_len;
+  return offset % config_.burst_period < config_.burst_len;
+}
+
+SimTime LossyDelayPolicy::delivery_time(ProcessId from, ProcessId to,
+                                        SimTime sent, Rng& rng,
+                                        const NetConfig& cfg) {
+  const SimTime base = inner_->delivery_time(from, to, sent, rng, cfg);
+  if (config_.jitter == 0) return base;  // no draw: zero jitter is free
+  const SimTime extra = rng.next_below(config_.jitter + 1);
+  const SimTime jittered =
+      base > kSimTimeMax - extra ? kSimTimeMax : base + extra;
+  return std::min(jittered, synchrony_cap(sent, cfg));
+}
+
+bool LossyDelayPolicy::should_drop(ProcessId /*from*/, ProcessId /*to*/,
+                                   SimTime sent, Rng& rng,
+                                   const NetConfig& /*cfg*/) {
+  const double p = in_burst(sent) ? config_.burst_drop_p : config_.drop_p;
+  if (p <= 0.0) return false;  // no draw: an all-zero config is transparent
+  return rng.chance(p);
+}
+
 }  // namespace bftcup::sim

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "crypto/keyring_cache.hpp"
+#include "msg/wire.hpp"
 #include "obs/span_tracer.hpp"
 
 namespace bftcup::sim {
@@ -110,6 +111,8 @@ void Simulator::configure(bool reuse) {
   // directions of the "signature memoization" layer, both value-neutral.
   registry_.attach_sign_cache(options_.verify_cache ? &sign_cache_ : nullptr);
   policy_ = std::make_unique<RandomDelayPolicy>();
+  wire_.reset();
+  if (options_.wire.enabled) wire_.emplace(options_.wire, options_.seed);
   if (options_.expected_processes != 0) {
     table_.reserve(options_.expected_processes);
   }
@@ -155,6 +158,12 @@ void Simulator::do_send(ProcessId from, ProcessId to, msg::MessageRef message) {
   if (!table_.contains(to)) {
     // Sending to an id that does not exist (e.g. learned from a lying PD)
     // silently drops: there is no process to deliver to.
+    return;
+  }
+  if (policy_->should_drop(from, to, now_, rng_, options_.net)) {
+    // Lossy-network fault model: the message vanishes on the wire.
+    trace_->record_drop();
+    trace_->record_frame_lost();
     return;
   }
   Event ev;
@@ -261,6 +270,28 @@ void Simulator::apply_fault(const FaultAction& action) {
   }
 }
 
+/// Hostile-wire delivery: round-trip the payload through the byte codec so
+/// the real decoder faces whatever the mutator produced. The receiver still
+/// learns the queue's true sender id (sender authentication is part of the
+/// channel model, not the frame), but every *byte* of the payload — type,
+/// PDs, signatures, quorum cert — is attacker-controlled. Rejected frames
+/// are counted and dropped; accepted ones are delivered as decoded, which
+/// for an unmutated frame is bit-identical to the original message.
+void Simulator::deliver_via_wire(ProcessTable::Slot& slot, const Event& ev,
+                                 Context& ctx) {
+  const Bytes frame = msg::encode_frame(*ev.message);
+  WireMutator::Result result = wire_->process(frame);
+  if (result.kind) trace_->record_frame_mutated(*result.kind);
+  for (const Bytes& out : result.frames) {
+    std::optional<msg::Message> decoded = msg::decode_frame(out);
+    if (!decoded) {
+      trace_->record_frame_rejected();
+      continue;
+    }
+    slot.process->on_message(ev.from, *decoded, ctx);
+  }
+}
+
 void Simulator::run() {
   // Observability (README "Observability"): resolve the run's metrics
   // observer once — the per-event cost below is a pointer null check when
@@ -312,7 +343,11 @@ void Simulator::run() {
     if (ev.kind == Event::Kind::kDelivery) {
       trace_->record_delivery();
       const obs::ScopedSpan span("sim.dispatch.delivery", ev.to.raw());
-      slot.process->on_message(ev.from, *ev.message, ctx);
+      if (wire_ && wire_->targets(ev.message->type)) {
+        deliver_via_wire(slot, ev, ctx);
+      } else {
+        slot.process->on_message(ev.from, *ev.message, ctx);
+      }
     } else {
       const obs::ScopedSpan span("sim.dispatch.timer", ev.to.raw());
       slot.process->on_timer(ev.timer_kind, ctx);

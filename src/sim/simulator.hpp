@@ -34,6 +34,7 @@
 #include "sim/process_table.hpp"
 #include "sim/run_arena.hpp"
 #include "sim/trace.hpp"
+#include "sim/wire_mutator.hpp"
 
 namespace bftcup::crypto {
 class KeyringCache;
@@ -52,6 +53,12 @@ class Simulator {
     /// (key seed, signer, payload, signature), so replay stays
     /// bit-identical; off still counts verifications for the run report.
     bool verify_cache = true;
+    /// Hostile-wire layer (sim/wire_mutator.hpp). When enabled, targeted
+    /// deliveries are routed through encode_frame -> mutation ->
+    /// decode_frame; frames the hardened decoder rejects are counted and
+    /// dropped. Disabled (the default) costs nothing and leaves every
+    /// digest unchanged.
+    WireConfig wire;
 
     // --- recyclable-run plumbing (cup::RunContext) -----------------------
     /// Pre-size hints: process count and expected event volume. Zero means
@@ -151,6 +158,8 @@ class Simulator {
   void apply_fault(const FaultAction& action);
   void start_or_resume(ProcessTable::Slot& slot);
   void configure(bool reuse);
+  void deliver_via_wire(ProcessTable::Slot& slot, const Event& ev,
+                        Context& ctx);
 
   Options options_;
   Rng rng_;
@@ -159,6 +168,8 @@ class Simulator {
   crypto::SignCache sign_cache_;
   crypto::Verifier verifier_;
   std::unique_ptr<DelayPolicy> policy_;
+  /// Present iff options_.wire.enabled (rebuilt by configure()).
+  std::optional<WireMutator> wire_;
   ProcessTable table_;
   FaultTimeline timeline_;
   bool timeline_active_ = false;

@@ -14,6 +14,7 @@
 #include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "msg/message.hpp"
+#include "sim/wire_mutator.hpp"
 
 namespace bftcup::sim {
 
@@ -47,6 +48,14 @@ class Trace {
   void record_drop();
   void record_membership(ProcessId who, const IdSet& members, SimTime time);
 
+  /// Hostile-wire accounting (sim/wire_mutator.hpp). A mutated delivery is
+  /// one WireMutator::process() call that perturbed the frame; a rejected
+  /// frame is one msg::decode_frame refusal (counted and dropped); a lost
+  /// frame is one DelayPolicy::should_drop hit.
+  void record_frame_mutated(WireMutationKind kind);
+  void record_frame_rejected();
+  void record_frame_lost();
+
   [[nodiscard]] const DecisionMap& decisions() const { return decisions_; }
   [[nodiscard]] const MembershipMap& memberships() const {
     return memberships_;
@@ -65,6 +74,16 @@ class Trace {
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] const MsgHistogram& sent_by_type() const {
     return sent_by_type_;
+  }
+
+  using WireKindHistogram = std::array<std::uint64_t, kWireMutationKindCount>;
+  [[nodiscard]] std::uint64_t frames_mutated() const { return frames_mutated_; }
+  [[nodiscard]] std::uint64_t frames_rejected() const {
+    return frames_rejected_;
+  }
+  [[nodiscard]] std::uint64_t frames_lost() const { return frames_lost_; }
+  [[nodiscard]] const WireKindHistogram& mutated_by_kind() const {
+    return mutated_by_kind_;
   }
 
   /// True iff every process in `who` decided.
@@ -89,6 +108,10 @@ class Trace {
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;
   MsgHistogram sent_by_type_{};
+  std::uint64_t frames_mutated_ = 0;
+  std::uint64_t frames_rejected_ = 0;
+  std::uint64_t frames_lost_ = 0;
+  WireKindHistogram mutated_by_kind_{};
 };
 
 }  // namespace bftcup::sim

@@ -106,5 +106,84 @@ TEST(DecoderTest, BytesLengthBeyondBufferRejected) {
   EXPECT_FALSE(dec.get_bytes().has_value());
 }
 
+// --- canonical-form hardening (hostile-wire PR) ---------------------------
+// A hostile wire can hand the decoder any byte string; every non-canonical
+// shape must be rejected so that "decode succeeded" implies "re-encoding is
+// byte-identical" — the property the wire fuzz harness leans on.
+
+TEST(DecoderTest, OverlongVarintRejected) {
+  // 0x80 0x00 encodes 0 in two bytes; the canonical form is the single
+  // byte 0x00. An overlong continuation must fail, not silently alias.
+  const Bytes overlong{0x80, 0x00};
+  Decoder dec(overlong);
+  EXPECT_FALSE(dec.get_varint().has_value());
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(DecoderTest, OverlongVarint127Rejected) {
+  // 0xff 0x00 would decode as 127 (payload bits 0x7f + zero high group);
+  // canonical 127 is the single byte 0x7f.
+  const Bytes overlong{0xff, 0x00};
+  Decoder dec(overlong);
+  EXPECT_FALSE(dec.get_varint().has_value());
+}
+
+TEST(DecoderTest, TwoByteVarintWithNonzeroHighGroupAccepted) {
+  // 0xff 0x01 = 0x7f | (1 << 7) = 255: a genuinely two-byte value.
+  const Bytes two_byte{0xff, 0x01};
+  Decoder dec(two_byte);
+  const auto v = dec.get_varint();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 255U);
+  EXPECT_TRUE(dec.at_end());
+}
+
+TEST(DecoderTest, CanonicalVarintsStillRoundTrip) {
+  // The overlong rejection must not clip any value the encoder produces.
+  const std::uint64_t values[] = {0, 1, 127, 128, 16383, 16384, ~0ULL};
+  for (const std::uint64_t v : values) {
+    Encoder enc;
+    enc.put_varint(v);
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.get_varint(), v);
+    EXPECT_TRUE(dec.at_end());
+  }
+}
+
+TEST(DecoderTest, UnsortedIdSetRejected) {
+  // put_id_set emits strictly ascending ids; a hand-built descending pair
+  // is non-canonical and must fail.
+  Encoder enc;
+  enc.put_varint(2);
+  enc.put_id(ProcessId(5));
+  enc.put_id(ProcessId(3));
+  Decoder dec(enc.bytes());
+  EXPECT_FALSE(dec.get_id_set().has_value());
+}
+
+TEST(DecoderTest, DuplicateIdSetEntryRejected) {
+  // Duplicates would silently collapse (set semantics) and break the
+  // decode-implies-canonical property: {1,1} re-encodes as a 1-element set.
+  Encoder enc;
+  enc.put_varint(2);
+  enc.put_id(ProcessId(1));
+  enc.put_id(ProcessId(1));
+  Decoder dec(enc.bytes());
+  EXPECT_FALSE(dec.get_id_set().has_value());
+}
+
+TEST(DecoderTest, AtEndDetectsTrailingBytes) {
+  // Frame-level parsers reject trailing garbage via at_end(); the primitive
+  // must report it correctly after a complete decode.
+  Encoder enc;
+  enc.put_u8(7);
+  Bytes padded = enc.bytes();
+  padded.push_back(0x00);
+  Decoder dec(padded);
+  EXPECT_EQ(dec.get_u8(), 7);
+  EXPECT_TRUE(dec.ok());
+  EXPECT_FALSE(dec.at_end());
+}
+
 }  // namespace
 }  // namespace bftcup::codec

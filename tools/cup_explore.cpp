@@ -16,6 +16,12 @@
 //                                       the planted bridge-hiding family is
 //                                       rediscovered and every finding
 //                                       shrinks to a 1-minimal fixpoint
+//   cup_explore --wire-smoke            CI gate: every wire/* registry
+//                                       scenario keeps safety under its
+//                                       hostile wire, and the planted
+//                                       wire-safety violation (naive mode
+//                                       tipped by frame mutation) is
+//                                       rediscovered and shrunk
 //
 // Exploration options:
 //   --master-seed N    (default 1)      --generations N   (default 6)
@@ -46,8 +52,9 @@ int usage(const char* argv0) {
                "       %s --replay '<genome line>'\n"
                "       %s --scenario NAME [--seed N]\n"
                "       %s --digests TAG [--seed N] [--parallel-eval N]\n"
-               "       %s --smoke\n",
-               argv0, argv0, argv0, argv0, argv0);
+               "       %s --smoke\n"
+               "       %s --wire-smoke\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -196,6 +203,110 @@ int smoke(explore::ExplorerOptions options) {
   return 0;
 }
 
+/// The planted hostile-wire counterexample for --wire-smoke: the naive
+/// protocol on a two-bridge split topology at a seed whose reliable-channel
+/// run keeps safety (NO-TERMINATION), while a 25% all-kinds frame-mutation
+/// wire tips it into an agreement split — the oracle must attribute the
+/// break to the wire (kWireSafety) because the wire-off replay is clean.
+constexpr const char* kWirePlantLine =
+    "v=1.2.3.4.5.6.7.8|e=1>2;1>3;1>4;2>1;2>3;2>4;3>1;3>2;3>4;3>6;4>1;4>2;"
+    "4>3;4>5;5>4;5>6;5>7;5>8;6>3;6>5;6>7;6>8;7>5;7>6;7>8;8>5;8>6;8>7|f=1|"
+    "mode=naive|byz=silent|faulty=|fpd=|tl=|gst=0|delta=10|hz=300000|"
+    "seed=16|cg=0|wm=250:63:2047";
+
+int wire_smoke(explore::ExplorerOptions options) {
+  // Gate 1 — no forgeries: every wire/* registry scenario runs a sound
+  // protocol mode under an active hostile wire; agreement and validity
+  // must survive at both sweep seeds. A failure here means a mutated or
+  // spliced frame made it past the decode chain or the Verifier.
+  const auto& registry = cup::ScenarioRegistry::paper();
+  const std::vector<std::string> wire_names = registry.names_with_tag("wire");
+  if (wire_names.empty()) {
+    std::fprintf(stderr, "WIRE-SMOKE FAIL: no wire/* registry scenarios\n");
+    return 1;
+  }
+  for (const std::string& name : wire_names) {
+    for (std::uint64_t seed : {options.master_seed, options.master_seed + 6}) {
+      const cup::RunReport report = registry.run(name, seed);
+      std::printf("%-24s seed=%llu  %-20s mutated=%llu rejected=%llu "
+                  "lost=%llu\n",
+                  name.c_str(), static_cast<unsigned long long>(seed),
+                  report.verdict().c_str(),
+                  static_cast<unsigned long long>(report.frames_mutated),
+                  static_cast<unsigned long long>(report.frames_rejected),
+                  static_cast<unsigned long long>(report.frames_lost));
+      if (!report.agreement || !report.validity) {
+        std::fprintf(stderr,
+                     "WIRE-SMOKE FAIL: %s seed=%llu broke safety under the "
+                     "hostile wire (%s)\n",
+                     name.c_str(), static_cast<unsigned long long>(seed),
+                     report.verdict().c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Gate 2 — the planted wire-safety finding is rediscovered and shrinks.
+  const explore::ExplorerOptions defaults;
+  if (options.generations == defaults.generations) options.generations = 2;
+  if (options.population == defaults.population) options.population = 16;
+  if (options.max_findings_per_kind == defaults.max_findings_per_kind) {
+    options.max_findings_per_kind = 2;
+  }
+  if (options.shrinker.max_runs == defaults.shrinker.max_runs) {
+    options.shrinker.max_runs = 400;
+  }
+  const auto plant = explore::Genome::parse_line(kWirePlantLine);
+  if (!plant || !plant->valid()) {
+    std::fprintf(stderr, "WIRE-SMOKE FAIL: planted genome line invalid\n");
+    return 1;
+  }
+  const explore::ExploreResult result =
+      explore::Explorer(options).explore({*plant});
+  print_result(result);
+
+  bool rediscovered = false;
+  bool all_fixpoints = true;
+  for (const explore::Finding& finding : result.findings) {
+    if (finding.kind != explore::FindingKind::kWireSafety) continue;
+    // A wire-safety finding outside the deliberately unsound naive mode
+    // would be a real decode/verification hole — exactly what gate 1
+    // guards against, re-checked here on everything the explorer found.
+    if (finding.genome.mode != cup::Mode::kNaive) {
+      std::fprintf(stderr,
+                   "WIRE-SMOKE FAIL: wire-safety finding in sound mode: %s\n",
+                   finding.genome.to_line().c_str());
+      return 1;
+    }
+    if (!finding.genome.wire_active()) {
+      std::fprintf(stderr,
+                   "WIRE-SMOKE FAIL: wire-safety finding shrank to a "
+                   "wire-free genome: %s\n",
+                   finding.genome.to_line().c_str());
+      return 1;
+    }
+    rediscovered = true;
+    all_fixpoints = all_fixpoints && finding.shrunk_to_fixpoint;
+  }
+  if (!rediscovered) {
+    std::fprintf(stderr,
+                 "WIRE-SMOKE FAIL: the planted wire-safety violation was "
+                 "not rediscovered\n");
+    return 1;
+  }
+  if (options.shrink && !all_fixpoints) {
+    std::fprintf(stderr,
+                 "WIRE-SMOKE FAIL: a wire-safety finding did not shrink to "
+                 "a fixpoint within the budget\n");
+    return 1;
+  }
+  std::printf("WIRE-SMOKE OK: %zu wire scenarios safe, wire-safety plant "
+              "rediscovered%s\n",
+              wire_names.size(),
+              options.shrink ? " and 1-minimal" : " (shrinking disabled)");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,6 +319,7 @@ int main(int argc, char** argv) {
   std::uint64_t scenario_seed = 1;
   std::uint64_t parallel_eval = 0;
   bool want_smoke = false;
+  bool want_wire_smoke = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -222,6 +334,8 @@ int main(int argc, char** argv) {
     std::uint64_t value = 0;
     if (arg == "--smoke") {
       want_smoke = true;
+    } else if (arg == "--wire-smoke") {
+      want_wire_smoke = true;
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_line = argv[++i];
     } else if (arg == "--scenario" && i + 1 < argc) {
@@ -254,6 +368,7 @@ int main(int argc, char** argv) {
   }
 
   if (want_smoke) return smoke(options);
+  if (want_wire_smoke) return wire_smoke(options);
   if (!replay_line.empty()) return replay(replay_line);
   if (!digest_tags.empty()) {
     return digests_for_tags(digest_tags, scenario_seed, parallel_eval);

@@ -125,6 +125,26 @@ void print_summary(const cup::RunReport& report) {
                 static_cast<unsigned long long>(report.sent_by_type[i]));
   }
 
+  // Hostile-wire rows (only when the wire touched the run): the headline
+  // counters straight from the report, then the per-mutation-kind split
+  // from the wire.* metrics family when the run carried a registry.
+  if (report.frames_mutated > 0 || report.frames_rejected > 0 ||
+      report.frames_lost > 0) {
+    std::printf("\n%-28s %10s\n", "hostile wire", "frames");
+    std::printf("%-28s %10llu\n", "mutated",
+                static_cast<unsigned long long>(report.frames_mutated));
+    std::printf("%-28s %10llu\n", "rejected by decoder",
+                static_cast<unsigned long long>(report.frames_rejected));
+    std::printf("%-28s %10llu\n", "lost (lossy policy)",
+                static_cast<unsigned long long>(report.frames_lost));
+    for (const auto& [name, value] : report.metrics.counters) {
+      if (name.rfind("wire.mutated.", 0) == 0) {
+        std::printf("%-28s %10llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+    }
+  }
+
   if (!report.metrics.empty()) {
     std::printf("\n%-28s %10s\n", "metric", "value");
     for (const auto& [name, value] : report.metrics.counters) {

@@ -1,0 +1,36 @@
+// Coverage-guided libFuzzer driver for the hostile-wire trust boundary.
+//
+// Build with -DBFTCUP_BUILD_FUZZERS=ON (requires a clang toolchain; the
+// target compiles with -fsanitize=fuzzer,address,undefined):
+//
+//   ./tools/wire_frame_fuzzer -max_len=512 corpus/
+//
+// The invariant is the same one tests/wire_fuzz_test.cpp asserts on its
+// deterministic seed corpus: decode_frame never crashes, and any frame it
+// accepts re-encodes byte-identically (canonical decode — no two distinct
+// wire frames alias to one message). The deterministic harness is the
+// regression floor that runs in every CI job; this driver is for open-ended
+// exploration of the decode path.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "msg/wire.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace bftcup;
+  const BytesView frame(data, size);
+  const std::optional<msg::Message> decoded = msg::decode_frame(frame);
+  if (decoded.has_value()) {
+    const Bytes round = msg::encode_frame(*decoded);
+    if (round.size() != size ||
+        !std::equal(round.begin(), round.end(), data)) {
+      __builtin_trap();  // non-canonical decode: two frames alias
+    }
+  }
+  return 0;
+}
